@@ -1,0 +1,68 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+scaled deployment (see ``repro.workloads.experiment``: link capacity and
+offered loads are divided by 10, so all capacity-relative quantities are
+comparable).  Results are printed to the terminal (bypassing capture so
+they appear in ``bench_output.txt``) and persisted under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class Reporter:
+    """Collects one experiment's output table and writes it out."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers, rows) -> None:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        self.line(fmt.format(*headers))
+        self.line(fmt.format(*("-" * w for w in widths)))
+        for row in rows:
+            self.line(fmt.format(*(str(c) for c in row)))
+
+    def flush(self, capmanager=None) -> None:
+        text = "\n".join([f"== {self.name} ==", *self.lines, ""])
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        # Bypass pytest's capture (fd-level) so the table reaches the
+        # real stdout and therefore bench_output.txt.
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                print("\n" + text, flush=True)
+        else:
+            print("\n" + text, file=sys.__stdout__, flush=True)
+
+
+@pytest.fixture
+def reporter(request):
+    rep = Reporter(request.node.name.replace("/", "_"))
+    yield rep
+    rep.flush(request.config.pluginmanager.getplugin("capturemanager"))
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation exactly once under pytest-benchmark.
+
+    Simulations are deterministic and expensive; a single round gives the
+    wall-clock cost without re-running the experiment five times.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

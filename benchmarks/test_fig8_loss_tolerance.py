@@ -1,0 +1,77 @@
+"""Figure 8 — One Reliable Messaging flow vs. loss rate on all links.
+
+The flow 7 -> 9 (Europe to East Asia — the worst-case flow: most hops,
+loss applied on every hop) sends at link capacity while every link in
+the topology drops packets at rates from 0% to 50%.
+
+Paper result: "The flow is able to maintain performance, even under high
+loss", for both Constrained Flooding and K-Paths, with goodput declining
+gently as loss grows (the Proof-of-Receipt link's retransmissions absorb
+the loss at the cost of bandwidth).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.link.por import PorConfig
+from repro.messaging.message import Semantics
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.workloads.experiment import SCALED_LINK_BPS, Deployment
+
+FLOW = (7, 9)
+LOSS_RATES = [0.0, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50]
+RUN_SECONDS = 20.0
+WINDOW = (5.0, RUN_SECONDS)
+
+
+def measure(loss: float, method: DisseminationMethod) -> float:
+    config = OverlayConfig(
+        link_bandwidth_bps=SCALED_LINK_BPS,
+        channel_loss_rate=loss,
+        e2e_ack_timeout=0.1,
+        reliable_forward_hold=0.1,
+        reliable_link_window=32,
+        por=PorConfig(initial_rto=0.10, min_rto=0.03),
+        # Hellos themselves cross the lossy links: keep monitoring from
+        # flapping every link down at extreme loss rates.
+        hello_interval=0.5,
+        hello_timeout=6.0,
+    )
+    deployment = Deployment(config=config, seed=31)
+    deployment.add_flow(
+        *FLOW, rate_fraction=1.0, semantics=Semantics.RELIABLE, method=method
+    )
+    deployment.run(RUN_SECONDS)
+    return deployment.network.flow_goodput(*FLOW).average_mbps(*WINDOW)
+
+
+def test_fig8(benchmark, reporter):
+    def experiment():
+        flooding = [measure(loss, DisseminationMethod.flooding()) for loss in LOSS_RATES]
+        kpaths = [measure(loss, DisseminationMethod.k_paths(2)) for loss in LOSS_RATES]
+        return flooding, kpaths
+
+    flooding, kpaths = run_once(benchmark, experiment)
+
+    link_mbps = SCALED_LINK_BPS / 1e6
+    reporter.table(
+        ["loss %", "Constrained Flooding Mbps", "K-Paths (K=2) Mbps"],
+        [
+            (f"{loss * 100:.0f}", f"{f:.3f}", f"{k:.3f}")
+            for loss, f, k in zip(LOSS_RATES, flooding, kpaths)
+        ],
+    )
+    reporter.line(f"link capacity (scaled): {link_mbps:.1f} Mbps")
+
+    # Shape: both methods maintain most of their goodput through 10% loss
+    # and still move traffic at extreme rates (the paper's 50% point
+    # holds up better than ours — see EXPERIMENTS.md — but the flow must
+    # never stall entirely).
+    for series in (flooding, kpaths):
+        assert series[0] > 0.5 * link_mbps          # healthy baseline
+        assert series[4] > 0.55 * series[0]         # 10% loss: graceful
+        assert series[5] > 0.3 * series[0]          # 25% loss: degraded
+        assert series[-1] > 0.05 * series[0]        # 50% loss: still alive
+    # Loss tolerance of the two methods is comparable (redundant paths
+    # vs. full redundancy).
+    assert flooding[-1] >= 0.6 * kpaths[-1]

@@ -1,0 +1,84 @@
+"""Figure 9 — One Reliable Flooding flow through attack and partition.
+
+Timeline (scaled from the paper's 300 s to 60 s):
+
+* a correct Reliable Flooding flow sends at link capacity;
+* two compromised flows saturate the network (contention phase);
+* the attackers stop; then crashes cut every path between source and
+  destination (goodput must drop to zero — but no message may be lost);
+* one crashed node recovers, reconnecting the network: the flow resumes
+  and the backlog drains, with end-to-end reliability and ordering
+  preserved throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.messaging.message import Semantics
+from repro.overlay.config import OverlayConfig
+from repro.workloads.experiment import SCALED_LINK_BPS, Deployment
+
+# Flow 2 -> 9: node 9 (Tokyo)'s only neighbors are 10, 11, 12, so
+# crashing those three partitions the destination from the source.
+FLOW = (2, 9)
+CUT_NODES = [10, 11, 12]
+ATTACKERS = [(4, 5), (3, 8)]
+
+T_ATTACK_START = 10.0
+T_ATTACK_STOP = 25.0
+T_CRASH = 30.0
+T_RECOVER = 45.0
+T_END = 70.0
+
+
+def test_fig9(benchmark, reporter):
+    def experiment():
+        config = OverlayConfig(
+            link_bandwidth_bps=SCALED_LINK_BPS, e2e_ack_timeout=0.1
+        )
+        deployment = Deployment(config=config, seed=37)
+        network = deployment.network
+        received = []
+        network.node(FLOW[1]).on_deliver = lambda m: received.append(m.seq)
+
+        deployment.add_flow(*FLOW, rate_fraction=1.0, semantics=Semantics.RELIABLE)
+        for source, dest in ATTACKERS:
+            deployment.add_attack_flow(
+                source, dest, rate_fraction=1.0, semantics=Semantics.RELIABLE,
+                start_at=T_ATTACK_START, stop_at=T_ATTACK_STOP,
+            )
+        for node in CUT_NODES:
+            network.sim.schedule_at(T_CRASH, network.crash, node)
+        network.sim.schedule_at(T_RECOVER, network.recover, CUT_NODES[0])
+        deployment.run(T_END)
+
+        meter = network.flow_goodput(*FLOW)
+        phases = {
+            "alone": meter.average_mbps(2.0, T_ATTACK_START),
+            "contention": meter.average_mbps(T_ATTACK_START + 2, T_ATTACK_STOP),
+            "partitioned": meter.average_mbps(T_CRASH + 3, T_RECOVER),
+            "recovered": meter.average_mbps(T_RECOVER + 5, T_END),
+        }
+        return phases, received, deployment.fair_share_mbps(3)
+
+    phases, received, fair_share = run_once(benchmark, experiment)
+
+    reporter.table(
+        ["phase", "goodput Mbps"],
+        [(name, f"{mbps:.3f}") for name, mbps in phases.items()],
+    )
+    reporter.line(f"fair share with 3 flows: {fair_share:.3f} Mbps")
+    reporter.line(f"delivered: {len(received)} messages, in order: "
+                  f"{received == list(range(1, len(received) + 1))}")
+
+    # Uncontended: most of the link capacity.
+    assert phases["alone"] > 0.5 * SCALED_LINK_BPS / 1e6
+    # Under contention: at least the guaranteed fair share.
+    assert phases["contention"] >= 0.85 * fair_share
+    # Partitioned: nothing can be delivered.
+    assert phases["partitioned"] == 0.0
+    # Recovered: the flow resumes.
+    assert phases["recovered"] > 0.3 * SCALED_LINK_BPS / 1e6
+    # Reliability: every delivered message in order, exactly once.
+    assert received == list(range(1, len(received) + 1))
+    assert len(received) > 0

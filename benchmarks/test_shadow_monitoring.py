@@ -1,0 +1,117 @@
+"""Section VI-C — the shadow monitoring system.
+
+"We use the deployment to carry the monitoring messages of the global
+cloud [...] The shadow network provided the same timely delivery of
+monitoring messages as the production monitoring network [...] In
+certain cases, the shadow system was even more timely (about 2-5 ms) on
+some of the longer paths in the network because messages arrive first on
+a lower latency path compared with the path chosen by the normal
+monitoring system, which has other routing considerations."
+
+Two measured deployments carry the same monitoring workload (every node
+reports status classes every 1-3 s to one sink):
+
+* **shadow** — the intrusion-tolerant overlay, alternating K-Paths (K=2)
+  and Constrained Flooding exactly as the real deployment did;
+* **production** — single-path delivery over *min-hop* routes ("other
+  routing considerations": production systems rarely pick the
+  latency-optimal path).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.workloads.experiment import Deployment
+
+# Monitoring traffic is far below 0.1% of capacity ("the monitoring and
+# control traffic amounts to less than 0.1% of the overall traffic"), so
+# this benchmark runs at the deployment's full 10 Mbps link speed: the
+# event count stays tiny and serialization does not drown the few-ms
+# routing differences the paper observed.
+LINK_BPS = 10e6
+from repro.workloads.monitoring import MonitoringWorkload
+
+SINK = 3  # New York
+PHASE = 20.0  # seconds per dissemination method
+
+
+def min_hop_route(topo, source, sink):
+    unit = topo.copy()
+    for a, b in unit.edges():
+        unit.set_weight(a, b, 1.0)
+    return unit.shortest_path(source, sink)
+
+
+def run_shadow():
+    deployment = Deployment(
+        config=OverlayConfig(link_bandwidth_bps=LINK_BPS), seed=43
+    )
+    workload = MonitoringWorkload(
+        deployment.network, sinks=[SINK], method=DisseminationMethod.k_paths(2)
+    )
+    workload.start()
+    deployment.run(PHASE)
+    workload.set_method(DisseminationMethod.flooding())
+    deployment.run(PHASE)
+    return deployment, workload
+
+
+def run_production():
+    deployment = Deployment(
+        config=OverlayConfig(link_bandwidth_bps=LINK_BPS), seed=43
+    )
+    routes = {
+        (node, SINK): min_hop_route(deployment.topology, node, SINK)
+        for node in deployment.topology.nodes
+        if node != SINK
+    }
+    workload = MonitoringWorkload(
+        deployment.network, sinks=[SINK], explicit_routes=routes
+    )
+    workload.start()
+    deployment.run(2 * PHASE)
+    return deployment, workload
+
+
+def test_shadow_monitoring(benchmark, reporter):
+    def experiment():
+        shadow, shadow_workload = run_shadow()
+        production, _ = run_production()
+        rows = []
+        for node in shadow.topology.nodes:
+            if node == SINK:
+                continue
+            s = shadow.network.flow_latency(node, SINK)
+            p = production.network.flow_latency(node, SINK)
+            flood_phase = [lat for t, lat in s.samples if t >= PHASE]
+            flood_mean = sum(flood_phase) / len(flood_phase) if flood_phase else 0.0
+            rows.append((node, s.mean(), flood_mean, p.mean(), s.count, p.count))
+        staleness = shadow_workload.view_staleness(SINK, at_time=2 * PHASE)
+        return rows, staleness
+
+    rows, staleness = run_once(benchmark, experiment)
+
+    reporter.table(
+        ["reporter", "shadow ms", "shadow(flood) ms", "production ms", "s msgs", "p msgs"],
+        [
+            (node, f"{s * 1000:.1f}", f"{f * 1000:.1f}", f"{p * 1000:.1f}", sc, pc)
+            for node, s, f, p, sc, pc in rows
+        ],
+    )
+    reporter.line(f"sink view staleness: max {max(staleness):.2f} s")
+    improved = [node for node, _, f, p, _, _ in rows if f < p - 0.001]
+    reporter.line(
+        f"reporters where the shadow (flooding) is >1 ms more timely: {improved}"
+    )
+
+    for node, s, _, p, shadow_count, prod_count in rows:
+        assert shadow_count > 2 * PHASE / 3.0
+        # "The same timely delivery": within queueing noise of production.
+        assert s < p + 0.060
+    # The real-time view is fresh (status period is 1 s + jitter).
+    assert max(staleness) < 5.0
+    # On some longer paths the shadow arrives first: flooding delivers on
+    # the lowest-latency path while the production route is tie-broken by
+    # hop count ("other routing considerations").
+    assert improved

@@ -1,0 +1,160 @@
+"""Table I — Comparison with related work, as an *executable* table.
+
+The paper's Table I is qualitative.  Here each checkmark claimed for
+"Our Work" is backed by a small live experiment on this reproduction:
+
+* protect against link-level tampering  -> PoR integrity drops tampering;
+* protect against a single ISP meltdown -> multihomed underlay survives;
+* protect against sophisticated DDoS    -> rotating Crossfire attack
+  cannot cut a multihomed link, and the overlay routes around a
+  single-homed one;
+* protect against BGP hijacking         -> same-ISP combinations keep
+  every link alive during a hijack;
+* overcome Byzantine forwarders         -> flooding delivers past black
+  holes;
+* overcome Byzantine sources            -> a spamming source cannot push
+  an honest flow below its fair share;
+* guarantee semantics                   -> reliable in-order exactly-once
+  delivery across a crash.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.byzantine.behaviors import DroppingBehavior
+from repro.overlay.config import OverlayConfig
+from repro.overlay.network import OverlayNetwork
+from repro.resilience.ddos import RotatingLinkAttack
+from repro.resilience.underlay import multihomed, single_homed
+from repro.topology.generators import clique, ring
+
+FAST = OverlayConfig(link_bandwidth_bps=None)
+PACED = OverlayConfig(link_bandwidth_bps=1e6)
+
+
+def check_link_tampering() -> bool:
+    net = OverlayNetwork.build(ring(4), FAST)
+    original = net.channels[(1, 2)].send
+
+    def tamper(pkt, size):
+        if hasattr(pkt, "corrupted"):
+            pkt.corrupted = True
+        original(pkt, size)
+
+    net.channels[(1, 2)].send = tamper
+    net.client(1).send_priority(3)
+    net.run(2.0)
+    # Tampered copies are dropped at the link; flooding still delivers.
+    return (
+        net.delivered_count(1, 3) == 1
+        and net.node(2).links[1].por.macs_rejected > 0
+    )
+
+
+def check_isp_meltdown() -> bool:
+    net = OverlayNetwork.build(ring(4), FAST)
+    underlay = multihomed(net, {n: ["red", "blue"] for n in net.nodes})
+    underlay.fail_isp("red")
+    net.client(1).send_priority(3)
+    net.run(2.0)
+    return net.delivered_count(1, 3) == 1
+
+
+def check_ddos() -> bool:
+    net = OverlayNetwork.build(ring(4), FAST)
+    underlay = single_homed(net, {1: "red", 2: "blue", 3: "red", 4: "blue"})
+    attack = RotatingLinkAttack(net.sim, underlay, [(1, 2)], rotation_period=0.3)
+    attack.start()
+    net.run(0.5)
+    net.client(1).send_priority(2)  # direct path is dead; reroute via 4-3
+    net.run(2.0)
+    return net.delivered_count(1, 2) == 1
+
+
+def check_bgp_hijack() -> bool:
+    net = OverlayNetwork.build(ring(4), FAST)
+    underlay = multihomed(net, {n: ["red", "blue"] for n in net.nodes})
+    underlay.set_bgp_hijacked(True)
+    net.client(1).send_priority(3)
+    net.run(2.0)
+    return net.delivered_count(1, 3) == 1
+
+
+def check_byzantine_forwarders() -> bool:
+    net = OverlayNetwork.build(clique(5), FAST)
+    net.compromise(2, DroppingBehavior())
+    net.compromise(3, DroppingBehavior())
+    for _ in range(5):
+        net.client(1).send_priority(5)
+    net.run(2.0)
+    return net.delivered_count(1, 5) == 5
+
+
+def check_byzantine_sources() -> bool:
+    net = OverlayNetwork.build(ring(4), PACED, seed=3)
+    spammer = net.node(2)
+
+    def spam():
+        if net.sim.now < 8.0:
+            for _ in range(3):
+                spammer.send_priority(4, size_bytes=1186, priority=10)
+            net.sim.schedule(0.02, spam)
+
+    honest = net.node(1)
+
+    def honest_tick():
+        if net.sim.now < 8.0:
+            honest.send_priority(3, size_bytes=1186, priority=1)
+            net.sim.schedule(0.06, honest_tick)
+
+    spam()
+    honest_tick()
+    net.run(12.0)
+    goodput = net.flow_goodput(1, 3).average_mbps(2.0, 8.0)
+    return goodput > 0.8 * (1186 * 8 / 0.06 / 1e6)
+
+
+def check_guaranteed_semantics() -> bool:
+    net = OverlayNetwork.build(ring(4), PACED)
+    received = []
+    net.node(3).on_deliver = lambda m: received.append(m.seq)
+    sent = [0]
+
+    def tick():
+        while sent[0] < 40 and net.node(1).send_reliable(3, size_bytes=800):
+            sent[0] += 1
+        if sent[0] < 40:
+            net.sim.schedule(0.05, tick)
+
+    tick()
+    net.run(1.0)
+    net.crash(2)
+    net.run(2.0)
+    net.recover(2)
+    net.run(20.0)
+    return received == list(range(1, 41))
+
+
+ROWS = [
+    ("Protect against link-level tampering", check_link_tampering),
+    ("Protect against a single ISP meltdown", check_isp_meltdown),
+    ("Protect against sophisticated DDoS attack", check_ddos),
+    ("Protect against BGP hijacking", check_bgp_hijack),
+    ("Overcomes Byzantine Forwarders", check_byzantine_forwarders),
+    ("Overcomes Byzantine Sources", check_byzantine_sources),
+    ("Guarantees Semantics", check_guaranteed_semantics),
+]
+
+
+def test_table1(benchmark, reporter):
+    def experiment():
+        return [(name, check()) for name, check in ROWS]
+
+    results = run_once(benchmark, experiment)
+    reporter.table(
+        ["property (Table I row)", "our work"],
+        [(name, "yes" if ok else "NO") for name, ok in results],
+    )
+    reporter.line("(each checkmark is demonstrated by a live experiment)")
+    for name, ok in results:
+        assert ok, f"Table I property failed: {name}"

@@ -1,0 +1,138 @@
+"""Table II — Maximum goodput for one flow, with and without cryptography.
+
+Paper values (controlled lab matching the Figure 3 topology):
+
+                 Priority (Mbps)          Reliable (Mbps)
+                 Flood   K=1   K=2        Flood   K=1   K=2
+    (a) no crypto  125   480   425          125   395   395
+    (b) crypto      45    85    80           40    85    80
+
+The paper's takeaway is the *shape*: with cryptography the overlay is
+strictly CPU bound (one-flow goodput drops ~5x for K-paths), and flooding
+costs roughly 4x the K-paths goodput because every node spends CPU on
+every message.  We reproduce that shape with a scaled lab: 10 Mbps links
+and CPU costs scaled so the same ratios emerge (absolute Mbps are not
+comparable — the substrate is a simulator).  Results are reported
+normalized to the no-crypto K=1 baseline next to the paper's normalized
+values.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.messaging.message import Semantics
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.sim.cpu import CpuCosts
+from repro.workloads.experiment import DEFAULT_PAYLOAD, Deployment
+
+# Scaled lab: 10 Mbps links (~1000 msgs/s); CPU costs scaled so that
+# per-packet processing binds before the link does (row (a)) and source
+# RSA signing becomes the bottleneck with cryptography on (row (b)),
+# calibrated to the paper's 480 -> 85 Mbps drop for K=1.
+LAB_LINK_BPS = 10e6
+NO_CRYPTO_COSTS = CpuCosts(
+    rsa_sign=0.0, rsa_verify=0.0, hmac=0.0,
+    process_packet=1.25e-3, tx_packet=0.7e-3, duplicate_packet=0.3e-3,
+)
+# Spines verifies every received copy (dedup happens after signature
+# verification), so under flooding each duplicate copy costs a verify as
+# well — priced into duplicate_packet here.
+CRYPTO_COSTS = CpuCosts(
+    rsa_sign=11.8e-3, rsa_verify=3.0e-3, hmac=0.14e-3,
+    process_packet=1.25e-3, tx_packet=0.7e-3, duplicate_packet=3.3e-3,
+)
+
+FLOW = (7, 9)
+RUN_SECONDS = 20.0
+
+PAPER = {
+    # (crypto, semantics, method) -> Mbps
+    ("off", "priority", "flood"): 125.0,
+    ("off", "priority", "k1"): 480.0,
+    ("off", "priority", "k2"): 425.0,
+    ("off", "reliable", "flood"): 125.0,
+    ("off", "reliable", "k1"): 395.0,
+    ("off", "reliable", "k2"): 395.0,
+    ("on", "priority", "flood"): 45.0,
+    ("on", "priority", "k1"): 85.0,
+    ("on", "priority", "k2"): 80.0,
+    ("on", "reliable", "flood"): 40.0,
+    ("on", "reliable", "k1"): 85.0,
+    ("on", "reliable", "k2"): 80.0,
+}
+
+METHODS = {
+    "flood": DisseminationMethod.flooding(),
+    "k1": DisseminationMethod.k_paths(1),
+    "k2": DisseminationMethod.k_paths(2),
+}
+
+
+def measure(crypto: str, semantics: Semantics, method_key: str) -> float:
+    costs = CRYPTO_COSTS if crypto == "on" else NO_CRYPTO_COSTS
+    config = OverlayConfig(
+        link_bandwidth_bps=LAB_LINK_BPS,
+        cpu_costs=costs,
+        e2e_ack_timeout=0.1,
+        reliable_buffer=256,
+        # The lab links are 10x faster than the scaled deployment: the
+        # per-link optimistic window must cover the higher rate.
+        reliable_link_window=128,
+    )
+    deployment = Deployment(config=config, seed=21)
+    source, dest = FLOW
+    deployment.add_flow(
+        source,
+        dest,
+        rate_fraction=2.0,  # offered load beyond capacity: find the max
+        semantics=semantics,
+        method=METHODS[method_key],
+    )
+    deployment.run(RUN_SECONDS)
+    return deployment.network.flow_goodput(source, dest).average_mbps(5.0, RUN_SECONDS)
+
+
+def test_table2(benchmark, reporter):
+    def experiment():
+        results = {}
+        for crypto in ("off", "on"):
+            for semantics in (Semantics.PRIORITY, Semantics.RELIABLE):
+                for method_key in ("flood", "k1", "k2"):
+                    results[(crypto, semantics.value, method_key)] = measure(
+                        crypto, semantics, method_key
+                    )
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    base = results[("off", "priority", "k1")]
+    paper_base = PAPER[("off", "priority", "k1")]
+    rows = []
+    for key, mbps in results.items():
+        rows.append(
+            (
+                f"{key[0]}-crypto {key[1]} {key[2]}",
+                f"{mbps:.2f}",
+                f"{mbps / base:.3f}",
+                f"{PAPER[key] / paper_base:.3f}",
+            )
+        )
+    reporter.table(["configuration", "Mbps (scaled)", "normalized", "paper norm."], rows)
+
+    # Shape assertions.
+    for semantics in ("priority", "reliable"):
+        off_k1 = results[("off", semantics, "k1")]
+        off_flood = results[("off", semantics, "flood")]
+        on_k1 = results[("on", semantics, "k1")]
+        on_flood = results[("on", semantics, "flood")]
+        # Flooding is several times more expensive than K=1.
+        assert off_flood < 0.55 * off_k1
+        # With crypto on, signing at the source binds K-paths too, so the
+        # flooding penalty narrows (85 vs 45 in the paper; narrower here
+        # because Reliable Messaging's ack machinery is charged as well).
+        assert on_flood < (0.8 if semantics == "priority" else 0.95) * on_k1
+        # Crypto makes the system CPU bound: a multi-x drop for K=1.
+        assert 2.5 <= off_k1 / on_k1 <= 10.0
+        # K=2 costs no more than K=1 at the source and at most slightly less.
+        assert results[("off", semantics, "k2")] <= 1.1 * off_k1
+        assert results[("on", semantics, "k2")] <= 1.1 * on_k1

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: build an intrusion-tolerant overlay and send messages.
+
+Builds the paper's 12-data-center global cloud topology, sends Priority
+Messaging (monitoring-style) and Reliable Messaging (control-style)
+traffic with both dissemination methods, compromises a node, and shows
+that delivery guarantees hold.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DisseminationMethod, OverlayConfig, OverlayNetwork
+from repro.byzantine.behaviors import DroppingBehavior
+from repro.topology import global_cloud
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build the overlay: 12 nodes, 32 links, PKI, signed MTMW,
+    #    Proof-of-Receipt links — all assembled by the builder.
+    # ------------------------------------------------------------------
+    topology = global_cloud.topology()
+    config = OverlayConfig(link_bandwidth_bps=1e6)  # scaled 1 Mbps links
+    net = OverlayNetwork.build(topology, config, seed=7)
+    print(f"built overlay: {len(net.nodes)} nodes, "
+          f"{topology.edge_count} links, "
+          f"min node-connectivity >= 3")
+
+    # ------------------------------------------------------------------
+    # 2. Priority Messaging (timely, best-effort under contention).
+    #    Frankfurt (7) -> Tokyo (9), the longest path on the globe.
+    # ------------------------------------------------------------------
+    frankfurt = net.client(7)
+    frankfurt.send_priority(9, size_bytes=1200, priority=8,
+                            method=DisseminationMethod.flooding(),
+                            payload=b"status update")
+    frankfurt.send_priority(9, size_bytes=1200, priority=8,
+                            method=DisseminationMethod.k_paths(3),
+                            payload=b"status update 2")
+    net.run(seconds=2.0)
+    latency = net.flow_latency(7, 9)
+    print(f"priority: delivered {latency.count}/2, "
+          f"mean latency {latency.mean() * 1000:.1f} ms "
+          f"(propagation {topology.path_weight(topology.shortest_path(7, 9)) * 1000:.1f} ms)")
+
+    # ------------------------------------------------------------------
+    # 3. Reliable Messaging (end-to-end reliable, in-order).
+    # ------------------------------------------------------------------
+    received = []
+    net.node(5).on_deliver = lambda m: received.append(m.seq)
+    dallas = net.client(2)
+    sent = 0
+    while sent < 20 and dallas.send_reliable(5, size_bytes=600,
+                                             payload=b"open breaker"):
+        sent += 1
+    net.run(seconds=5.0)
+    print(f"reliable: sent {sent}, delivered {len(received)}, "
+          f"in order: {received == sorted(received)}")
+
+    # ------------------------------------------------------------------
+    # 4. Compromise a forwarder: flooding routes around it.
+    # ------------------------------------------------------------------
+    net.compromise(3, DroppingBehavior())   # New York goes Byzantine
+    frankfurt.send_priority(9, size_bytes=1200, payload=b"still delivered")
+    net.run(seconds=2.0)
+    print(f"after compromising node 3: delivered {net.delivered_count(7, 9)}/3 "
+          f"priority messages total")
+
+    # ------------------------------------------------------------------
+    # 5. The compromised node cannot fake routing either: a black-hole
+    #    routing update is detected and ignored.
+    # ------------------------------------------------------------------
+    from repro.byzantine.attacks import RoutingWeightAttack
+
+    RoutingWeightAttack(net, attacker=3).launch()
+    net.run(seconds=1.0)
+    detectors = [n for n, node in net.nodes.items()
+                 if 3 in node.routing.detected_compromised]
+    print(f"black-hole routing attack: detected as compromised by nodes {detectors}")
+
+
+if __name__ == "__main__":
+    main()

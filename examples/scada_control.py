@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Power-grid control over the intrusion-tolerant overlay.
+
+The paper's motivating critical-infrastructure scenario: a control center
+issues breaker commands to substations.  "Cloud control messages contain
+critical information that changes the state of the system and must be
+delivered reliably to maintain consistency" — so commands use Reliable
+Messaging with Source-Destination Fairness: end-to-end reliable, in
+order, exactly once, even while a forwarder is Byzantine and an
+intermediate data center crashes and recovers.
+
+Run:  python examples/scada_control.py
+"""
+
+from repro import OverlayConfig, OverlayNetwork
+from repro.byzantine.behaviors import SelectiveDropBehavior
+from repro.topology import global_cloud
+
+CONTROL_CENTER = 4    # Washington DC
+SUBSTATIONS = [9, 12]  # Tokyo, Hong Kong plants
+COMMANDS = [
+    "breaker 12 OPEN", "breaker 12 CLOSE", "setpoint 4 -> 0.96 pu",
+    "load-shed feeder 7", "resync phasor clocks", "breaker 3 OPEN",
+    "tap changer +1", "capacitor bank 2 ON", "breaker 3 CLOSE",
+    "setpoint 4 -> 1.00 pu",
+]
+
+
+def main() -> None:
+    net = OverlayNetwork.build(
+        global_cloud.topology(),
+        OverlayConfig(link_bandwidth_bps=1e6, e2e_ack_timeout=0.2),
+        seed=13,
+    )
+
+    logs = {sub: [] for sub in SUBSTATIONS}
+    for sub in SUBSTATIONS:
+        net.node(sub).on_deliver = (
+            lambda m, s=sub: logs[s].append((m.seq, m.payload))
+        )
+
+    # A compromised forwarder drops exactly the control flows (a targeted
+    # attack that plain TCP/IP routing cannot route around).
+    net.compromise(
+        10, SelectiveDropBehavior(lambda m: m.source == CONTROL_CENTER)
+    )
+    print("node 10 (Los Angeles) compromised: silently drops control traffic")
+
+    control = net.client(CONTROL_CENTER)
+    issued = {sub: 0 for sub in SUBSTATIONS}
+
+    def issue_commands() -> None:
+        for sub in SUBSTATIONS:
+            while issued[sub] < len(COMMANDS) and control.send_reliable(
+                sub, size_bytes=400, payload=COMMANDS[issued[sub]]
+            ):
+                issued[sub] += 1
+        if any(issued[sub] < len(COMMANDS) for sub in SUBSTATIONS):
+            net.sim.schedule(0.5, issue_commands)
+
+    issue_commands()
+    net.run(3.0)
+
+    print("mid-sequence: node 11 (San Jose) crashes, cutting more paths")
+    net.crash(11)
+    net.run(4.0)
+    net.recover(11)
+    print("node 11 recovered from a clean state")
+    net.run(20.0)
+
+    for sub in SUBSTATIONS:
+        seqs = [seq for seq, _ in logs[sub]]
+        ok = seqs == list(range(1, len(COMMANDS) + 1))
+        print(f"substation {sub}: {len(logs[sub])}/{len(COMMANDS)} commands, "
+              f"exactly-once in-order: {ok}")
+        for seq, payload in logs[sub][:3]:
+            print(f"    #{seq}: {payload}")
+        print("    ...")
+    assert all(
+        [seq for seq, _ in logs[sub]] == list(range(1, len(COMMANDS) + 1))
+        for sub in SUBSTATIONS
+    ), "reliable delivery violated"
+    print("\nall control commands delivered reliably, in order, exactly once —")
+    print("despite a targeted Byzantine forwarder and a crash/recovery.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Reproduction of "Practical Intrusion-Tolerant Networks" (ICDCS 2016).
+
+The package implements a Spines-style intrusion-tolerant overlay network —
+Maximal Topology with Minimal Weights, K node-disjoint paths, constrained
+flooding, Priority Messaging with Source Fairness, and Reliable Messaging
+with Source-Destination Fairness — on top of a from-scratch discrete-event
+network simulator, cryptographic toolkit, and resilient-underlay model.
+
+Quickstart::
+
+    from repro import OverlayNetwork
+    from repro.topology import global_cloud
+
+    net = OverlayNetwork.build(global_cloud.topology())
+    net.client(7).send_reliable(dest=9, payload=b"open breaker 12")
+    net.run(seconds=5.0)
+
+See ``examples/quickstart.py`` for a complete runnable walkthrough.
+
+Top-level names are imported lazily (PEP 562) so that subpackages can be
+used independently without paying the full import cost.
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    CryptoError,
+    ProtocolError,
+    ReproError,
+    RoutingSecurityError,
+    TopologyError,
+)
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "CryptoMode": ("repro.overlay.config", "CryptoMode"),
+    "DisseminationMethod": ("repro.overlay.config", "DisseminationMethod"),
+    "OverlayConfig": ("repro.overlay.config", "OverlayConfig"),
+    "OverlayNetwork": ("repro.overlay.network", "OverlayNetwork"),
+    "Message": ("repro.messaging.message", "Message"),
+    "Semantics": ("repro.messaging.message", "Semantics"),
+    "Simulator": ("repro.sim.engine", "Simulator"),
+}
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "RoutingSecurityError",
+    "CryptoError",
+    "ProtocolError",
+] + sorted(_LAZY)
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,40 @@
+"""Byzantine node behaviours, canned attacks, and the Turret-style fuzzer.
+
+The threat model (Section III-B) lets a compromised node exhibit
+arbitrary behaviour with full access to its own key material.  This
+package models that as a :class:`~repro.byzantine.behaviors.Behavior`
+object attached to an overlay node, intercepting every message the node
+receives or forwards, plus *attack drivers* that use the compromised
+node's legitimate APIs (e.g. spamming highest-priority traffic).
+
+* :mod:`repro.byzantine.behaviors` — composable interception behaviours
+  (drop, delay, duplicate, corrupt, misroute, ...);
+* :mod:`repro.byzantine.attacks` — canned attacks from the paper's
+  evaluation: black hole, routing-weight lies, priority spam,
+  saturation flows, ACK spam, crash/recover schedules;
+* :mod:`repro.byzantine.turret` — randomized attack-strategy search with
+  protocol invariant checking, after the Turret platform the authors
+  used to validate the implementation.
+"""
+
+from repro.byzantine.behaviors import (
+    Behavior,
+    CorruptingBehavior,
+    DelayingBehavior,
+    DroppingBehavior,
+    DuplicatingBehavior,
+    HonestBehavior,
+    SelectiveDropBehavior,
+    StackedBehavior,
+)
+
+__all__ = [
+    "Behavior",
+    "HonestBehavior",
+    "DroppingBehavior",
+    "DelayingBehavior",
+    "DuplicatingBehavior",
+    "CorruptingBehavior",
+    "SelectiveDropBehavior",
+    "StackedBehavior",
+]

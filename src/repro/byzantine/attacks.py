@@ -1,0 +1,275 @@
+"""Canned attacks from the paper's evaluation (Section VI-B).
+
+Each attack is a *driver*: it uses a compromised node's legitimate APIs
+and key material (exactly what the threat model grants) plus, where
+relevant, a Byzantine interception behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.messaging.message import E2eAck, Message, Semantics
+from repro.overlay.config import DisseminationMethod
+from repro.overlay.network import OverlayNetwork
+from repro.routing.link_state import UPDATE_WIRE_SIZE, LinkStateUpdate
+from repro.topology.graph import NodeId
+
+
+class SaturationFlow:
+    """A source sending as fast as it can (Figures 5, 6, 9).
+
+    ``rate_bps`` is the offered load; attackers usually set it at or
+    above the link capacity.  Works for both semantics; Reliable flows
+    respect back-pressure (they cannot do otherwise — the network simply
+    stops accepting), Priority flows keep injecting and let the fair
+    schedulers drop.
+    """
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        source: NodeId,
+        dest: NodeId,
+        rate_bps: float,
+        size_bytes: int = 1186,
+        priority: int = 10,
+        semantics: Semantics = Semantics.PRIORITY,
+        method: Optional[DisseminationMethod] = None,
+        burst_interval: float = 0.02,
+    ):
+        if rate_bps <= 0:
+            raise ConfigurationError("rate_bps must be positive")
+        self.network = network
+        self.source = source
+        self.dest = dest
+        self.rate_bps = rate_bps
+        self.size_bytes = size_bytes
+        self.priority = priority
+        self.semantics = semantics
+        self.method = method or DisseminationMethod.flooding()
+        self.burst_interval = burst_interval
+        self.running = False
+        self.messages_sent = 0
+        self._credit = 0.0
+        self._last = 0.0
+
+    def start(self) -> None:
+        """Begin offering load now."""
+        self.running = True
+        self._last = self.network.sim.now
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop offering load."""
+        self.running = False
+
+    def schedule(self, start_at: float, stop_at: Optional[float] = None) -> None:
+        """Arm start (and optionally stop) at absolute simulated times."""
+        self.network.sim.schedule_at(start_at, self.start)
+        if stop_at is not None:
+            self.network.sim.schedule_at(stop_at, self.stop)
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        sim = self.network.sim
+        node = self.network.node(self.source)
+        self._credit += (sim.now - self._last) * self.rate_bps / 8.0
+        self._last = sim.now
+        max_backlog = self.rate_bps / 8.0 * self.burst_interval * 4
+        self._credit = min(self._credit, max_backlog)
+        while self._credit >= self.size_bytes and not node.crashed:
+            if self.semantics is Semantics.PRIORITY:
+                node.send_priority(
+                    self.dest,
+                    size_bytes=self.size_bytes,
+                    priority=self.priority,
+                    method=self.method,
+                )
+            else:
+                if not node.send_reliable(
+                    self.dest, size_bytes=self.size_bytes, method=self.method
+                ):
+                    break  # back-pressure
+            self.messages_sent += 1
+            self._credit -= self.size_bytes
+        sim.schedule(self.burst_interval, self._tick)
+
+
+class PrioritySpamAttack(SaturationFlow):
+    """Message-spamming attack of Figure 7: a compromised source floods
+    highest-priority messages to starve others (it cannot — source
+    fairness caps it at its own share)."""
+
+    def __init__(self, network: OverlayNetwork, source: NodeId, dest: NodeId,
+                 rate_bps: float, **kwargs: Any):
+        kwargs.setdefault("priority", 10)
+        super().__init__(network, source, dest, rate_bps, **kwargs)
+
+
+class RoutingWeightAttack:
+    """Black-hole attempt via routing updates (Section V-A).
+
+    The compromised node floods signed updates that (a) advertise a
+    weight below the MTMW minimum on its own links to attract traffic,
+    and (b) lower the weight of links it is not an endpoint of.  Correct
+    nodes detect both, ignore the updates, and mark the issuer
+    compromised.
+    """
+
+    def __init__(self, network: OverlayNetwork, attacker: NodeId):
+        self.network = network
+        self.attacker = attacker
+        self.updates_issued = 0
+
+    def launch(self) -> List[LinkStateUpdate]:
+        """Flood the malicious routing updates; returns them for inspection."""
+        node = self.network.node(self.attacker)
+        pki = self.network.pki
+        mtmw = self.network.mtmw
+        updates: List[LinkStateUpdate] = []
+        seq = 10_000  # distinct from the node's honest seqno space
+        for neighbor in node.links:
+            minimum = mtmw.min_weight(self.attacker, neighbor)
+            updates.append(
+                LinkStateUpdate.create(
+                    pki, self.attacker, self.attacker, neighbor, minimum / 100.0, seq
+                )
+            )
+            seq += 1
+        # A link the attacker is not an endpoint of.
+        for a, b in mtmw.topology.edges():
+            if self.attacker not in (a, b):
+                updates.append(
+                    LinkStateUpdate.create(pki, self.attacker, a, b, 1e-6, seq)
+                )
+                break
+        for update in updates:
+            for link in node.links.values():
+                link.enqueue_control(update, UPDATE_WIRE_SIZE, raw=True)
+                link.pump()
+        self.updates_issued = len(updates)
+        return updates
+
+
+class E2eAckSpamAttack:
+    """Spam E2E ACKs to consume bandwidth / disrupt reliable flows.
+
+    Forged ACKs (for other destinations) fail signature verification;
+    the attacker's own ACKs are legitimate but are only forwarded by
+    correct nodes when they indicate progress and no more often than the
+    E2E timeout, bounding the damage.
+    """
+
+    def __init__(self, network: OverlayNetwork, attacker: NodeId,
+                 victim_dest: NodeId, interval: float = 0.01):
+        self.network = network
+        self.attacker = attacker
+        self.victim_dest = victim_dest
+        self.interval = interval
+        self.running = False
+        self.acks_sent = 0
+
+    def start(self) -> None:
+        """Begin spamming forged and no-progress E2E ACKs."""
+        self.running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop the ACK spam."""
+        self.running = False
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        network = self.network
+        node = network.node(self.attacker)
+        if node.crashed:
+            return
+        # Forged: claims the victim destination acked everything.
+        forged = E2eAck(
+            dest=self.victim_dest,
+            stamp=self.acks_sent + 1_000_000,
+            cumulative=(("1", 10**9),),
+            signature=network.pki.forge(
+                self.victim_dest,
+                ("e2e-ack", str(self.victim_dest), self.acks_sent + 1_000_000,
+                 (("1", 10**9),)),
+            ),
+        )
+        # Legitimate identity, no progress: correct nodes refuse to flood it.
+        own = E2eAck.create(network.pki, self.attacker, 1, {self.attacker: 1})
+        for link in node.links.values():
+            link.enqueue_control(forged, forged.wire_size, raw=True)
+            link.enqueue_control(own, own.wire_size, raw=True)
+            link.pump()
+        self.acks_sent += 2
+        network.sim.schedule(self.interval, self._tick)
+
+
+class ReplayAttack:
+    """Capture a victim flow's messages at a compromised forwarder and
+    replay them later; duplicate suppression must hold."""
+
+    def __init__(self, network: OverlayNetwork, attacker: NodeId, copies: int = 3):
+        self.network = network
+        self.attacker = attacker
+        self.copies = copies
+        self.captured: List[Tuple[Message, int]] = []
+
+    def capture_behavior(self):
+        """Behaviour that records every forwarded data message for later replay."""
+        attack = self
+
+        from repro.byzantine.behaviors import Behavior
+
+        class _Capture(Behavior):
+            def filter_outgoing(self, payload, neighbor, node):
+                if isinstance(payload, Message):
+                    attack.captured.append(
+                        (payload, payload.wire_size(node.pki.signature_wire_size))
+                    )
+                return payload
+
+        return _Capture()
+
+    def replay_all(self) -> int:
+        """Re-inject every captured message on all links; returns the replay count."""
+        node = self.network.node(self.attacker)
+        replayed = 0
+        for message, size in self.captured:
+            for _ in range(self.copies):
+                for link in node.links.values():
+                    link.enqueue_control(message, size, raw=True)
+                    link.pump()
+                replayed += 1
+        return replayed
+
+
+@dataclasses.dataclass
+class CrashEvent:
+    at: float
+    node: NodeId
+    recover_at: Optional[float] = None
+
+
+class CrashSchedule:
+    """Timed crash/recovery script (Figure 9's partition events)."""
+
+    def __init__(self, network: OverlayNetwork, events: Sequence[CrashEvent]):
+        self.network = network
+        self.events = list(events)
+
+    def arm(self) -> None:
+        """Schedule every crash/recovery event on the simulator."""
+        for event in self.events:
+            self.network.sim.schedule_at(
+                event.at, self.network.crash, event.node
+            )
+            if event.recover_at is not None:
+                self.network.sim.schedule_at(
+                    event.recover_at, self.network.recover, event.node
+                )

@@ -1,0 +1,184 @@
+"""Composable Byzantine interception behaviours.
+
+A :class:`Behavior` sits inside an overlay node and sees every payload
+the node is about to transmit (``filter_outgoing``) or has just received
+(``filter_incoming``).  It may pass the payload through, drop it, delay
+it, duplicate it, corrupt it, or substitute something else entirely —
+the node executes whatever comes back.  :class:`HonestBehavior` passes
+everything through and is installed by default.
+
+Behaviours deliberately receive the *node* object: a compromised node has
+full access to its own state and private keys (threat model, Section
+III-B), so attacks may also use the node's legitimate APIs directly (see
+:mod:`repro.byzantine.attacks`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.messaging.message import Message
+
+
+class Behavior:
+    """Base interception behaviour (honest pass-through)."""
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        """Called for every payload about to be sent to ``neighbor``.
+
+        Return the payload (possibly altered), a replacement, or None to
+        silently drop it.
+        """
+        return payload
+
+    def filter_incoming(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        """Called for every payload received from ``neighbor``."""
+        return payload
+
+
+class HonestBehavior(Behavior):
+    """The default: forward everything faithfully."""
+
+
+class DroppingBehavior(Behavior):
+    """Drop every data message (black-hole forwarding), optionally only a
+    fraction of them (gray hole)."""
+
+    def __init__(self, drop_fraction: float = 1.0, rng=None, control_too: bool = False):
+        self.drop_fraction = drop_fraction
+        self._rng = rng
+        self.control_too = control_too
+        self.dropped = 0
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        if not self.control_too and not isinstance(payload, Message):
+            return payload
+        if self.drop_fraction >= 1.0 or (
+            self._rng is not None and self._rng.random() < self.drop_fraction
+        ):
+            self.dropped += 1
+            return None
+        return payload
+
+
+class SelectiveDropBehavior(Behavior):
+    """Drop only messages matching a predicate (e.g. one victim flow)."""
+
+    def __init__(self, predicate: Callable[[Message], bool]):
+        self.predicate = predicate
+        self.dropped = 0
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        if isinstance(payload, Message) and self.predicate(payload):
+            self.dropped += 1
+            return None
+        return payload
+
+
+class DelayingBehavior(Behavior):
+    """Hold data messages for ``delay`` seconds before letting them out."""
+
+    def __init__(self, delay: float):
+        self.delay = delay
+        self.delayed = 0
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        if not isinstance(payload, Message):
+            return payload
+        self.delayed += 1
+        link = node.links.get(neighbor)
+        size = payload.wire_size(node.pki.signature_wire_size)
+        node.sim.schedule(self.delay, self._release, link, payload, size)
+        return None
+
+    @staticmethod
+    def _release(link, payload, size) -> None:
+        if link is not None:
+            link.enqueue_control(payload, size, raw=True)
+            link.pump()
+
+
+class DuplicatingBehavior(Behavior):
+    """Send every data message ``copies`` extra times (replay flooding)."""
+
+    def __init__(self, copies: int = 1):
+        self.copies = copies
+        self.duplicated = 0
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        if isinstance(payload, Message):
+            link = node.links.get(neighbor)
+            size = payload.wire_size(node.pki.signature_wire_size)
+            for _ in range(self.copies):
+                self.duplicated += 1
+                if link is not None:
+                    link.enqueue_control(payload, size, raw=True)
+        return payload
+
+
+class CorruptingBehavior(Behavior):
+    """Tamper with data messages in flight (flip the payload/priority).
+
+    The tampered copy carries the original signature, so every correct
+    node rejects it; the behaviour exists to *prove* that, and to model
+    the resource-consumption cost of carrying garbage one hop.
+    """
+
+    def __init__(self, mutate_field: str = "priority"):
+        self.mutate_field = mutate_field
+        self.corrupted = 0
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        if not isinstance(payload, Message):
+            return payload
+        self.corrupted += 1
+        if self.mutate_field == "priority":
+            return dataclasses.replace(payload, priority=10)
+        if self.mutate_field == "dest":
+            return dataclasses.replace(payload, dest=node.node_id)
+        if self.mutate_field == "size":
+            return dataclasses.replace(payload, size_bytes=max(1, payload.size_bytes // 2))
+        return dataclasses.replace(payload, seq=payload.seq + 1000)
+
+
+class ReorderingBehavior(Behavior):
+    """Buffer data messages and release them in reverse batches."""
+
+    def __init__(self, batch: int = 4):
+        self.batch = batch
+        self._held: List[tuple] = []
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        if not isinstance(payload, Message):
+            return payload
+        link = node.links.get(neighbor)
+        size = payload.wire_size(node.pki.signature_wire_size)
+        self._held.append((link, payload, size))
+        if len(self._held) >= self.batch:
+            for held_link, held_payload, held_size in reversed(self._held):
+                if held_link is not None:
+                    held_link.enqueue_control(held_payload, held_size, raw=True)
+            self._held.clear()
+        return None
+
+
+class StackedBehavior(Behavior):
+    """Compose several behaviours; each filters the previous one's output."""
+
+    def __init__(self, behaviors: Sequence[Behavior]):
+        self.behaviors = list(behaviors)
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        for behavior in self.behaviors:
+            if payload is None:
+                return None
+            payload = behavior.filter_outgoing(payload, neighbor, node)
+        return payload
+
+    def filter_incoming(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        for behavior in self.behaviors:
+            if payload is None:
+                return None
+            payload = behavior.filter_incoming(payload, neighbor, node)
+        return payload

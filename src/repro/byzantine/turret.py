@@ -1,0 +1,262 @@
+"""Turret-style automated attack finding (Section VI-B1).
+
+"Turret enables a system to be run with several attacker-controlled
+nodes.  The compromised nodes launch attacks to attempt to subvert the
+system.  Such actions include, but are not limited to, dropping,
+delaying, replaying, diverting, and reordering messages.  In addition,
+compromised nodes can maliciously craft messages [...] fields of a target
+message may be set to zero, their minimum or maximum values, or a random
+value.  Turret can be configured to run for an extended period of time,
+continuously trying different attacks."
+
+:class:`TurretCampaign` reproduces the method: every iteration builds a
+fresh overlay, compromises a random subset of nodes with randomly drawn
+malicious strategies (including random field fuzzing), drives a mixed
+Priority/Reliable workload, and checks the protocol invariants that the
+paper's guarantees imply.  Any violation (or unhandled exception — the
+class of bug Turret found in Spines' message validation) is reported
+with the seed that reproduces it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.byzantine.behaviors import (
+    Behavior,
+    CorruptingBehavior,
+    DelayingBehavior,
+    DroppingBehavior,
+    DuplicatingBehavior,
+    ReorderingBehavior,
+    StackedBehavior,
+)
+from repro.messaging.message import Message
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.overlay.network import OverlayNetwork
+from repro.topology.graph import Topology
+
+
+class FieldFuzzBehavior(Behavior):
+    """Maliciously craft messages: set fields to zero, extremes, or random
+    values (Turret's message-crafting strategy)."""
+
+    _FIELDS = ("seq", "priority", "expiration", "size_bytes", "dest", "sent_at")
+
+    def __init__(self, rng: random.Random, fuzz_fraction: float = 0.5):
+        self.rng = rng
+        self.fuzz_fraction = fuzz_fraction
+        self.fuzzed = 0
+
+    def filter_outgoing(self, payload: Any, neighbor: Any, node: Any) -> Optional[Any]:
+        if not isinstance(payload, Message) or self.rng.random() > self.fuzz_fraction:
+            return payload
+        self.fuzzed += 1
+        field = self.rng.choice(self._FIELDS)
+        value = self._extreme(field, payload, node)
+        return dataclasses.replace(payload, **{field: value})
+
+    def _extreme(self, field: str, message: Message, node: Any) -> Any:
+        choice = self.rng.randrange(4)
+        if field == "dest":
+            members = node.mtmw.members
+            return self.rng.choice(members)
+        if field == "expiration":
+            return [0.0, None, 1e18, self.rng.random() * 100][choice]
+        if field == "sent_at":
+            return [0.0, -1e9, 1e18, self.rng.random() * 100][choice]
+        extremes = {
+            "seq": [0, -(2**63), 2**63 - 1],
+            "priority": [0, -1, 2**31],
+            "size_bytes": [0, 1, 2**31],
+        }[field]
+        if choice < 3:
+            return extremes[choice]
+        return self.rng.randrange(2**31)
+
+
+@dataclasses.dataclass
+class TurretIteration:
+    """One fuzzing iteration's outcome."""
+
+    seed: int
+    compromised: Tuple[Any, ...]
+    strategies: Tuple[str, ...]
+    violations: Tuple[str, ...]
+    exception: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.exception is None
+
+
+@dataclasses.dataclass
+class TurretReport:
+    iterations: List[TurretIteration]
+
+    @property
+    def failures(self) -> List[TurretIteration]:
+        return [it for it in self.iterations if not it.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """Human-readable campaign summary (failures with reproducing seeds)."""
+        total = len(self.iterations)
+        bad = len(self.failures)
+        lines = [f"Turret campaign: {total} iterations, {bad} failure(s)"]
+        for it in self.failures:
+            issue = it.exception or "; ".join(it.violations)
+            lines.append(
+                f"  seed={it.seed} compromised={it.compromised} "
+                f"strategies={it.strategies}: {issue}"
+            )
+        return "\n".join(lines)
+
+
+class TurretCampaign:
+    """Randomized attack search over a topology."""
+
+    STRATEGIES = (
+        "drop", "gray-hole", "delay", "duplicate", "reorder",
+        "corrupt-priority", "corrupt-dest", "corrupt-seq", "fuzz", "stacked",
+    )
+
+    def __init__(
+        self,
+        topology_factory,
+        n_compromised: int = 2,
+        run_seconds: float = 6.0,
+        master_seed: int = 0,
+        config: Optional[OverlayConfig] = None,
+    ):
+        self.topology_factory = topology_factory
+        self.n_compromised = n_compromised
+        self.run_seconds = run_seconds
+        self.master_seed = master_seed
+        self.config = config or OverlayConfig(link_bandwidth_bps=1e6)
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int) -> TurretReport:
+        """Run ``iterations`` randomized attack iterations and collect a report."""
+        results = [self.run_iteration(self.master_seed + i) for i in range(iterations)]
+        return TurretReport(results)
+
+    def run_iteration(self, seed: int) -> TurretIteration:
+        """Run one seeded iteration: random attackers, workload, invariant checks."""
+        rng = random.Random(seed)
+        topology: Topology = self.topology_factory()
+        net = OverlayNetwork.build(topology, self.config, seed=seed)
+        nodes = sorted(topology.nodes, key=str)
+
+        compromised = tuple(rng.sample(nodes, min(self.n_compromised, len(nodes) - 2)))
+        correct = [n for n in nodes if n not in compromised]
+        strategies = []
+        for node_id in compromised:
+            name = rng.choice(self.STRATEGIES)
+            strategies.append(name)
+            net.compromise(node_id, self._make_behavior(name, rng))
+
+        source, dest = rng.sample(correct, 2)
+        observed: List[Message] = []
+        net.node(dest).on_deliver = observed.append
+        sent_priority: List[Tuple[Any, ...]] = []
+        reliable_target = rng.randrange(10, 30)
+        reliable_sent = [0]
+
+        def workload() -> None:
+            if net.sim.now >= self.run_seconds - 1.0:
+                return
+            method = (
+                DisseminationMethod.flooding()
+                if rng.random() < 0.5
+                else DisseminationMethod.k_paths(rng.choice((1, 2)))
+            )
+            message = net.node(source).send_priority(
+                dest, size_bytes=rng.randrange(100, 1400),
+                priority=rng.randrange(1, 11), method=method,
+            )
+            sent_priority.append(message.uid)
+            while reliable_sent[0] < reliable_target and net.node(source).send_reliable(
+                dest, size_bytes=500
+            ):
+                reliable_sent[0] += 1
+            net.sim.schedule(0.1, workload)
+
+        violations: List[str] = []
+        exception: Optional[str] = None
+        try:
+            workload()
+            net.run(self.run_seconds)
+            violations = self._check_invariants(
+                net, source, dest, observed, sent_priority, reliable_sent[0]
+            )
+        except Exception as exc:  # noqa: BLE001 - crash-freedom is the invariant
+            exception = f"{type(exc).__name__}: {exc}"
+        return TurretIteration(
+            seed=seed,
+            compromised=compromised,
+            strategies=tuple(strategies),
+            violations=tuple(violations),
+            exception=exception,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_behavior(self, name: str, rng: random.Random) -> Behavior:
+        if name == "drop":
+            return DroppingBehavior()
+        if name == "gray-hole":
+            return DroppingBehavior(drop_fraction=0.5, rng=rng)
+        if name == "delay":
+            return DelayingBehavior(delay=rng.uniform(0.05, 1.0))
+        if name == "duplicate":
+            return DuplicatingBehavior(copies=rng.randrange(1, 4))
+        if name == "reorder":
+            return ReorderingBehavior(batch=rng.randrange(2, 6))
+        if name == "corrupt-priority":
+            return CorruptingBehavior("priority")
+        if name == "corrupt-dest":
+            return CorruptingBehavior("dest")
+        if name == "corrupt-seq":
+            return CorruptingBehavior("seq")
+        if name == "fuzz":
+            return FieldFuzzBehavior(rng)
+        return StackedBehavior(
+            [FieldFuzzBehavior(rng, 0.3), DuplicatingBehavior(1), DroppingBehavior(0.3, rng)]
+        )
+
+    def _check_invariants(
+        self,
+        net: OverlayNetwork,
+        source: Any,
+        dest: Any,
+        observed: Sequence[Message],
+        sent_priority: Sequence[Tuple[Any, ...]],
+        reliable_sent: int,
+    ) -> List[str]:
+        violations: List[str] = []
+        sent_uids = set(sent_priority)
+        seen_uids = set()
+        reliable_seqs: List[int] = []
+        for message in observed:
+            if message.source != source:
+                violations.append(f"delivered message from wrong source {message.source}")
+            if message.semantics.value == "priority":
+                if message.uid not in sent_uids:
+                    violations.append(f"forged/unsent priority message delivered: {message.uid}")
+                if message.uid in seen_uids:
+                    violations.append(f"duplicate priority delivery: {message.uid}")
+                seen_uids.add(message.uid)
+            else:
+                reliable_seqs.append(message.seq)
+        if reliable_seqs != sorted(set(reliable_seqs)):
+            violations.append("reliable delivery not in order / not exactly-once")
+        if reliable_seqs and reliable_seqs != list(range(1, reliable_seqs[-1] + 1)):
+            violations.append("reliable delivery has gaps")
+        if reliable_seqs and reliable_seqs[-1] > reliable_sent:
+            violations.append("reliable delivered more than was sent")
+        return violations

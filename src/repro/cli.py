@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the global-cloud deployment topology and its analytical
+    dissemination costs (Table III).
+``demo``
+    Run a short end-to-end scenario (both semantics, one compromised
+    node) and print the outcome.
+``experiment``
+    Run N saturating flows on the scaled deployment and print per-flow
+    goodput, latency, and dissemination cost.
+``turret``
+    Run a Turret-style randomized attack campaign and print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.topology import global_cloud
+from repro.topology.analysis import minimum_pair_connectivity, table3
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``repro info``: topology summary and Table III."""
+    topo = global_cloud.topology()
+    print(f"global cloud: {len(topo.nodes)} nodes, {topo.edge_count} links, "
+          f"min pair connectivity {minimum_pair_connectivity(topo)}")
+    for node in sorted(topo.nodes):
+        name, _, _, region = global_cloud.CITIES[node]
+        neighbors = ", ".join(str(n) for n in sorted(topo.neighbors(node)))
+        print(f"  {node:>2}  {name:<14} {region:<14} -> {neighbors}")
+    print("\nanalytical dissemination cost (Table III):")
+    for method, row in table3(topo).items():
+        latency = (
+            f"{row.avg_path_latency_ms:6.1f} ms"
+            if row.avg_path_latency_ms is not None
+            else "      — "
+        )
+        print(f"  {method:<20} {row.avg_hops:6.2f} hops  "
+              f"{row.scaled_cost:6.2f}x  {latency}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """``repro demo``: short end-to-end scenario with a compromised node."""
+    from repro.byzantine.behaviors import DroppingBehavior
+    from repro.overlay.network import OverlayNetwork
+
+    net = OverlayNetwork.build(
+        global_cloud.topology(),
+        OverlayConfig(link_bandwidth_bps=1e6),
+        seed=args.seed,
+    )
+    net.compromise(10, DroppingBehavior())
+    print("node 10 compromised (black-hole forwarder)")
+    net.client(7).send_priority(9, method=DisseminationMethod.flooding())
+    sent = 0
+    while sent < 10 and net.client(2).send_reliable(5, size_bytes=600):
+        sent += 1
+    net.run(5.0)
+    print(f"priority 7->9 delivered: {net.delivered_count(7, 9)}/1")
+    print(f"reliable 2->5 delivered: {net.delivered_count(2, 5)}/{sent} in order")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro experiment``: saturating flows on the scaled deployment."""
+    from repro.messaging.message import Semantics
+    from repro.workloads.experiment import Deployment
+
+    semantics = Semantics(args.semantics)
+    deployment = Deployment(seed=args.seed)
+    flows = global_cloud.EVALUATION_FLOWS[: args.flows]
+    for source, dest in flows:
+        deployment.add_flow(source, dest, rate_fraction=args.rate,
+                            semantics=semantics)
+    print(f"running {len(flows)} {semantics.value} flow(s) at "
+          f"{args.rate:.0%} of capacity for {args.seconds:.0f} s ...")
+    deployment.run(args.seconds)
+    window = (args.seconds * 0.25, args.seconds)
+    for source, dest in flows:
+        result = deployment.flow_result(source, dest, window)
+        print(f"  {source:>2} -> {dest:<2}  {result.goodput_mbps:6.3f} Mbps "
+              f"({result.goodput_fraction_of_capacity:5.1%} of a link)  "
+              f"latency {result.mean_latency * 1000:7.1f} ms  "
+              f"{result.delivered} delivered")
+    print(f"dissemination cost: {deployment.dissemination_cost():.1f} "
+          f"hops per delivered message")
+    return 0
+
+
+def cmd_turret(args: argparse.Namespace) -> int:
+    """``repro turret``: randomized attack campaign; exit 1 on any finding."""
+    from repro.byzantine.turret import TurretCampaign
+
+    campaign = TurretCampaign(
+        global_cloud.topology,
+        n_compromised=args.compromised,
+        run_seconds=args.seconds,
+        master_seed=args.seed,
+        config=OverlayConfig(link_bandwidth_bps=1e6),
+    )
+    report = campaign.run(args.iterations)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Practical Intrusion-Tolerant Networks (ICDCS 2016) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="topology and Table III").set_defaults(func=cmd_info)
+
+    demo = sub.add_parser("demo", help="short end-to-end scenario")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=cmd_demo)
+
+    experiment = sub.add_parser("experiment", help="saturating flows on the deployment")
+    experiment.add_argument("--flows", type=int, default=5, choices=range(1, 6))
+    experiment.add_argument("--rate", type=float, default=1.0)
+    experiment.add_argument("--seconds", type=float, default=20.0)
+    experiment.add_argument("--semantics", choices=["priority", "reliable"],
+                            default="priority")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(func=cmd_experiment)
+
+    turret = sub.add_parser("turret", help="randomized attack campaign")
+    turret.add_argument("--iterations", type=int, default=5)
+    turret.add_argument("--compromised", type=int, default=3)
+    turret.add_argument("--seconds", type=float, default=5.0)
+    turret.add_argument("--seed", type=int, default=0)
+    turret.set_defaults(func=cmd_turret)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

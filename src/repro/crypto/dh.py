@@ -1,0 +1,79 @@
+"""Diffie-Hellman key exchange over the RFC 3526 2048-bit MODP group.
+
+The Proof-of-Receipt link establishes a shared secret between each pair of
+neighboring overlay nodes with an *authenticated* Diffie-Hellman exchange:
+each side signs its public value with its RSA identity key, so a
+man-in-the-middle on the underlying IP path cannot substitute its own
+values (the threat model lets attackers compromise any underlay component).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import Optional
+
+from repro.errors import CryptoError
+
+# RFC 3526, group 14 (2048-bit MODP).
+_P_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFFFFFFFFFF"
+)
+GROUP_PRIME = int(_P_HEX, 16)
+GROUP_GENERATOR = 2
+_EXPONENT_BITS = 256  # short exponents are standard practice for group 14
+
+
+class DiffieHellman:
+    """One side of a Diffie-Hellman exchange.
+
+    Usage::
+
+        alice, bob = DiffieHellman(), DiffieHellman()
+        alice.compute_shared(bob.public) == bob.compute_shared(alice.public)
+    """
+
+    def __init__(self, private: Optional[int] = None):
+        if private is None:
+            private = secrets.randbits(_EXPONENT_BITS) | 1
+        if not 1 <= private < GROUP_PRIME - 1:
+            raise CryptoError("DH private exponent out of range")
+        self._private = private
+        self.public = pow(GROUP_GENERATOR, private, GROUP_PRIME)
+
+    def compute_shared(self, peer_public: int) -> bytes:
+        """Derive the 32-byte shared key from the peer's public value.
+
+        The raw group element is hashed (SHA-256) to produce a uniform
+        key, and degenerate peer values (0, 1, p-1) are rejected to block
+        small-subgroup confinement.
+        """
+        if not 2 <= peer_public <= GROUP_PRIME - 2:
+            raise CryptoError("peer DH public value out of range")
+        shared = pow(peer_public, self._private, GROUP_PRIME)
+        if shared in (1, GROUP_PRIME - 1):
+            raise CryptoError("degenerate DH shared secret")
+        size = (GROUP_PRIME.bit_length() + 7) // 8
+        return hashlib.sha256(shared.to_bytes(size, "big")).digest()
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "DiffieHellman":
+        """Deterministic instance for reproducible simulations."""
+        digest = hashlib.sha256(b"dh:" + seed).digest()
+        private = int.from_bytes(digest, "big") | 1
+        return cls(private=private)
+
+    def encode_public(self) -> bytes:
+        """Serialize the public value for transmission and signing."""
+        size = (GROUP_PRIME.bit_length() + 7) // 8
+        return self.public.to_bytes(size, "big")

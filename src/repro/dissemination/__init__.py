@@ -1,0 +1,19 @@
+"""Redundant source-based dissemination methods (Section V-B).
+
+* :mod:`repro.dissemination.kpaths` — K node-disjoint paths: the source
+  selects K paths (computed by :mod:`repro.topology.disjoint` over its
+  routing view) and stamps them on the signed message; forwarders follow
+  the path they legitimately sit on.  Tolerates K−1 compromised nodes
+  anywhere in the network.
+* :mod:`repro.dissemination.flooding` — constrained flooding: each new
+  message goes to every neighbor except where it came from, and neighbor
+  feedback (duplicate receipt / neighbor ACKs / E2E ACKs) cancels copies
+  that are no longer needed.  Optimal: delivers whenever a correct path
+  exists.  The *naïve* variant (every edge, both directions) is kept as
+  the Table IV / Figure 4 baseline.
+"""
+
+from repro.dissemination.flooding import flood_targets
+from repro.dissemination.kpaths import path_successors, path_targets
+
+__all__ = ["flood_targets", "path_successors", "path_targets"]

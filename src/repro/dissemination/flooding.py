@@ -1,0 +1,26 @@
+"""Constrained (and naïve) flooding target selection.
+
+Constrained flooding forwards each *new* message to every neighbor except
+the one it arrived from; duplicate-arrival feedback then cancels queued
+copies toward neighbors that provably already have the message (the
+Priority engine) or neighbor/E2E ACKs suppress sends (the Reliable
+engine).  Naïve flooding — the baseline of Table IV and Figure 4(a) —
+forwards to *every* neighbor, so each message traverses every edge in
+both directions (cost 2·|E|)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.topology.graph import NodeId
+
+
+def flood_targets(
+    neighbors: Iterable[NodeId],
+    from_neighbor: Optional[NodeId],
+    naive: bool = False,
+) -> List[NodeId]:
+    """Neighbors a newly received (or injected) message is forwarded to."""
+    if naive:
+        return list(neighbors)
+    return [n for n in neighbors if n != from_neighbor]

@@ -1,0 +1,61 @@
+"""K node-disjoint path forwarding.
+
+The K paths are selected by the source and covered by the message
+signature (source-based routing): a compromised forwarder cannot redirect
+a message onto different paths without invalidating it.  A forwarder
+relays a message along a path only when the message actually arrived from
+that path's predecessor; anything else is a path violation (replay or
+misrouting) and is not forwarded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.topology.graph import NodeId
+
+Paths = Sequence[Tuple[NodeId, ...]]
+
+
+def path_successors(
+    node_id: NodeId,
+    paths: Paths,
+    from_neighbor: Optional[NodeId],
+) -> Tuple[List[NodeId], int]:
+    """Next hops for a message at ``node_id``.
+
+    Returns ``(successors, violations)`` where ``violations`` counts path
+    positions this node occupies that the message did not legitimately
+    arrive through (from ``from_neighbor``; ``None`` means the node is the
+    source).
+    """
+    successors: List[NodeId] = []
+    violations = 0
+    for path in paths:
+        for i, hop in enumerate(path):
+            if hop != node_id:
+                continue
+            legitimate = (i == 0 and from_neighbor is None) or (
+                i > 0 and from_neighbor == path[i - 1]
+            )
+            if not legitimate:
+                violations += 1
+                continue
+            if i + 1 < len(path):
+                successors.append(path[i + 1])
+    return successors, violations
+
+
+def path_targets(node_id: NodeId, paths: Paths) -> List[NodeId]:
+    """All next hops this node ever has on ``paths`` (arrival-agnostic).
+
+    Used by Reliable Messaging, whose hop-by-hop cursors already bind a
+    flow's messages to specific links; per-message arrival checks would
+    reject legitimate retransmissions that cross between neighbors.
+    """
+    targets: List[NodeId] = []
+    for path in paths:
+        for i, hop in enumerate(path):
+            if hop == node_id and i + 1 < len(path):
+                targets.append(path[i + 1])
+    return targets

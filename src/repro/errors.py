@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single handler while still
+being able to distinguish security-relevant conditions (for example,
+:class:`RoutingSecurityError` signals that a peer violated the Maximal
+Topology with Minimal Weights and should be treated as compromised).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class TopologyError(ReproError):
+    """A topology operation failed (unknown node, missing edge, ...)."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad signature, bad MAC, ...)."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed verification."""
+
+
+class MacError(CryptoError):
+    """A message authentication code failed verification."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message was malformed or violated the state machine."""
+
+
+class RoutingSecurityError(ProtocolError):
+    """A routing update violated the MTMW and its issuer is compromised.
+
+    Raised (or recorded) when a node attempts to decrease a link weight
+    below the administrator-signed minimum, to update a link it is not an
+    endpoint of, or to replay a stale topology.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""

@@ -1,0 +1,581 @@
+"""The Proof-of-Receipt (PoR) link.
+
+Section V-D: "Neighboring overlay nodes communicate using a
+Proof-of-Receipt (PoR) link that provides reliable in-order communication.
+[...] The link maintains cryptographic authentication and integrity
+(similar to DTLS), using an authenticated Diffie-Hellman key exchange to
+establish a shared secret key.  This secret key is used to compute HMACs
+(using SHA-256) to provide link-level message integrity.  Each side of the
+link must acknowledge messages with a proof-of-receipt, using a cumulative
+nonce method, to defeat denial-of-service attacks that acknowledge
+unreceived messages to drive the sender arbitrarily fast."
+
+Implementation notes
+--------------------
+* **Reliability** — sliding window, selective retransmission on adaptive
+  RTO (Jacobson/Karn), cumulative ACKs carrying the nonce-chain proof
+  (:mod:`repro.crypto.nonces`).  ACK packets that fail proof verification
+  are ignored, so a malicious receiver cannot inflate the sender's rate.
+* **Integrity** — in ``REAL`` crypto mode the handshake runs a signed
+  Diffie-Hellman exchange and every packet carries an HMAC-SHA256 tag
+  over its canonical encoding.  In ``SIMULATED`` mode packets carry a
+  ``corrupted`` flag that adversarial channels set when they tamper; a
+  MAC-checking endpoint drops such packets (and charges the HMAC CPU
+  cost), which models exactly what the real tag provides.
+* **Flow control toward the overlay** — the messaging layer *pulls*:
+  :meth:`PorEndpoint.can_accept` is true when the send window has room
+  and the outgoing channel is not backlogged beyond ``pacing_slack``
+  seconds, so the fair schedulers keep queueing decisions at the node
+  (where they belong) rather than deep inside the link.
+* **Crash recovery** — each endpoint has an *epoch*.  A restarted node
+  bumps its epoch; the peer resets its receive state on seeing a newer
+  epoch, which is how Figure 9's crash/recovery experiment works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.mac import hmac_sha256, verify_hmac
+from repro.crypto.nonces import NONCE_SIZE, CumulativeNonceChain, NonceVerifier
+from repro.crypto.pki import Pki, PkiMode
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.channel import Channel
+from repro.sim.engine import EventHandle, Simulator
+
+
+@dataclass(frozen=True)
+class PorConfig:
+    """Tunables of a Proof-of-Receipt link endpoint.
+
+    Attributes
+    ----------
+    window:
+        Maximum unacknowledged data packets in flight.
+    pacing_slack:
+        ``can_accept`` is false while the outgoing channel is backlogged
+        beyond this many seconds, keeping the queue at the fair scheduler.
+    initial_rto / min_rto / max_rto:
+        Retransmission timeout bounds (seconds).
+    header_overhead:
+        Wire bytes added to each data payload (seq, nonce, HMAC, epoch).
+    ack_size:
+        Wire bytes of an ACK packet.
+    check_macs:
+        Drop packets whose integrity check fails.  Disabled only for the
+        "no cryptography" row of Table II.
+    """
+
+    window: int = 128
+    pacing_slack: float = 0.002
+    initial_rto: float = 0.200
+    min_rto: float = 0.020
+    max_rto: float = 2.0
+    header_overhead: int = 48
+    ack_size: int = 64
+    check_macs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1 (got {self.window})")
+        if not 0 < self.min_rto <= self.initial_rto <= self.max_rto:
+            raise ConfigurationError("require 0 < min_rto <= initial_rto <= max_rto")
+        if self.pacing_slack < 0:
+            raise ConfigurationError("pacing_slack must be >= 0")
+
+
+class PorData:
+    """A data packet on the wire."""
+
+    __slots__ = ("epoch", "seq", "nonce", "payload", "wire_size", "mac", "corrupted")
+
+    def __init__(self, epoch: int, seq: int, nonce: bytes, payload: Any, wire_size: int):
+        self.epoch = epoch
+        self.seq = seq
+        self.nonce = nonce
+        self.payload = payload
+        self.wire_size = wire_size
+        self.mac: Any = None
+        self.corrupted = False
+
+    def mac_fields(self) -> Tuple[Any, ...]:
+        """Fields covered by the link-level integrity tag."""
+        return ("data", self.epoch, self.seq, self.nonce)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PorData(epoch={self.epoch}, seq={self.seq})"
+
+
+class PorAck:
+    """A cumulative ACK carrying the nonce-chain proof of receipt.
+
+    ``missing`` is a NACK list: sequence numbers above ``cum_seq`` that
+    the receiver has *not* got while later packets have arrived.  The
+    sender selectively retransmits them without waiting out the RTO
+    (Spines' links are NACK-based for exactly this reason).  NACKs are
+    advisory only — they can waste at most retransmissions on the
+    attacker's own link — while *positive* progress still requires the
+    unforgeable cumulative nonce proof.
+    """
+
+    __slots__ = ("epoch", "cum_seq", "proof", "missing", "mac", "corrupted")
+
+    def __init__(self, epoch: int, cum_seq: int, proof: bytes,
+                 missing: Tuple[int, ...] = ()):
+        self.epoch = epoch
+        self.cum_seq = cum_seq
+        self.proof = proof
+        self.missing = missing
+        self.mac: Any = None
+        self.corrupted = False
+
+    def mac_fields(self) -> Tuple[Any, ...]:
+        """Fields covered by the link-level integrity tag."""
+        return ("ack", self.epoch, self.cum_seq, self.proof, self.missing)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PorAck(epoch={self.epoch}, cum={self.cum_seq})"
+
+
+class PorHandshake:
+    """A signed Diffie-Hellman handshake message (REAL crypto mode)."""
+
+    __slots__ = ("sender", "dh_public", "signature", "corrupted")
+
+    def __init__(self, sender: Any, dh_public: bytes, signature: Any):
+        self.sender = sender
+        self.dh_public = dh_public
+        self.signature = signature
+        self.corrupted = False
+
+    HANDSHAKE_SIZE = 256 + 256  # DH public + RSA signature
+
+
+class _HelloWrapper:
+    """Marks a packet as an unreliable out-of-stream hello."""
+
+    __slots__ = ("hello",)
+
+    def __init__(self, hello: Any):
+        self.hello = hello
+
+
+@dataclass
+class _SendRecord:
+    payload: Any
+    wire_size: int
+    nonce: bytes
+    first_sent: float
+    deadline: float
+    rto: float
+    retransmitted: bool = False
+    last_sent: float = 0.0
+
+
+class PorEndpoint:
+    """One side of a Proof-of-Receipt link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: Any,
+        peer_id: Any,
+        out_channel: Channel,
+        in_channel: Channel,
+        pki: Pki,
+        config: Optional[PorConfig] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.peer_id = peer_id
+        self.out_channel = out_channel
+        self.in_channel = in_channel
+        self.pki = pki
+        self.config = config or PorConfig()
+        in_channel.on_receive = self._on_packet
+
+        # Upper-layer hooks.
+        self.on_deliver: Optional[Callable[[Any, int], None]] = None
+        self.on_ready: Optional[Callable[[], None]] = None
+        self.on_hello: Optional[Callable[[Any], None]] = None
+
+        # Crypto state.
+        self._established = False
+        self._link_key: Optional[bytes] = None
+        self._dh: Optional[DiffieHellman] = None
+
+        # Sender state.
+        self.epoch = 0
+        self._next_seq = 0
+        self._verifier = NonceVerifier()
+        self._unacked: Dict[int, _SendRecord] = {}
+        self._timer: Optional[EventHandle] = None
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._dup_acks = 0
+        self._nonce_rng = sim.rngs.stream(f"por:{node_id}->{peer_id}")
+
+        # Receiver state.
+        self._rx_epoch = 0
+        self._chain = CumulativeNonceChain()
+        self._reorder: Dict[int, PorData] = {}
+
+        # Counters.
+        self.data_sent = 0
+        self.data_retransmitted = 0
+        self.data_delivered = 0
+        self.acks_sent = 0
+        self.bogus_acks_rejected = 0
+        self.macs_rejected = 0
+        self.duplicates_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Establishment
+    # ------------------------------------------------------------------
+    def establish_out_of_band(self) -> None:
+        """Install the PKI-derived link key without an on-wire handshake.
+
+        Simulations use this to skip re-running the (already tested)
+        Diffie-Hellman exchange on every experiment.
+        """
+        self._link_key = self.pki.link_secret(self.node_id, self.peer_id)
+        self._established = True
+
+    def start_handshake(self) -> None:
+        """Send the signed Diffie-Hellman half of the handshake."""
+        self._dh = DiffieHellman.from_seed(
+            f"{self.pki.mode.value}:{self.node_id}->{self.peer_id}".encode("utf-8")
+        )
+        public = self._dh.encode_public()
+        signature = self.pki.identity(self.node_id).sign(("dh", self.node_id, public))
+        msg = PorHandshake(self.node_id, public, signature)
+        self.out_channel.send(msg, PorHandshake.HANDSHAKE_SIZE)
+
+    @property
+    def established(self) -> bool:
+        return self._established
+
+    # ------------------------------------------------------------------
+    # Upper-layer send interface
+    # ------------------------------------------------------------------
+    def can_accept(self) -> bool:
+        """True when the link can take another payload right now."""
+        return (
+            self._established
+            and len(self._unacked) < self.config.window
+            and self.out_channel.time_until_idle() <= self.config.pacing_slack
+        )
+
+    def time_until_ready(self) -> Optional[float]:
+        """Seconds until pacing may allow a send; None if blocked on the
+        window (an ACK will trigger ``on_ready`` instead)."""
+        if not self._established or len(self._unacked) >= self.config.window:
+            return None
+        backlog = self.out_channel.time_until_idle()
+        if backlog <= self.config.pacing_slack:
+            return 0.0
+        return backlog - self.config.pacing_slack
+
+    def send(self, payload: Any, size_bytes: int) -> None:
+        """Queue ``payload`` for reliable in-order delivery to the peer."""
+        if not self._established:
+            raise ProtocolError("PoR link not established")
+        if len(self._unacked) >= self.config.window:
+            raise ProtocolError("PoR send window full (check can_accept first)")
+        seq = self._next_seq
+        self._next_seq += 1
+        nonce = self._nonce_rng.getrandbits(8 * NONCE_SIZE).to_bytes(NONCE_SIZE, "big")
+        self._verifier.register(seq, nonce)
+        wire_size = size_bytes + self.config.header_overhead
+        record = _SendRecord(
+            payload=payload,
+            wire_size=wire_size,
+            nonce=nonce,
+            first_sent=self.sim.now,
+            deadline=self.sim.now + self._current_rto(),
+            rto=self._current_rto(),
+        )
+        self._unacked[seq] = record
+        self._transmit(seq, record)
+        self._arm_timer()
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._unacked)
+
+    def _transmit(self, seq: int, record: _SendRecord) -> None:
+        packet = PorData(self.epoch, seq, record.nonce, record.payload, record.wire_size)
+        if self._real_crypto:
+            packet.mac = hmac_sha256(self._link_key, self._encode_for_mac(packet))
+        record.last_sent = self.sim.now
+        self.out_channel.send(packet, record.wire_size)
+        self.data_sent += 1
+
+    def _fast_retransmit(self, seq: int) -> None:
+        record = self._unacked.get(seq)
+        if record is None:
+            return
+        # Don't re-send a packet that is plausibly still in flight.  With
+        # no RTT estimate yet (e.g. the very first packet was lost) use a
+        # small fixed guard rather than the conservative initial RTO.
+        guard = 0.5 * self._srtt if self._srtt is not None else 0.02
+        if self.sim.now - record.last_sent < max(guard, 0.005):
+            return
+        record.retransmitted = True
+        record.rto = min(record.rto * 2, self.config.max_rto)
+        record.deadline = self.sim.now + record.rto
+        self._transmit(seq, record)
+        self.data_retransmitted += 1
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restart this endpoint as after a crash: new epoch, empty state."""
+        self.epoch += 1
+        self._next_seq = 0
+        self._verifier = NonceVerifier()
+        self._unacked.clear()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._srtt = None
+        self._rttvar = 0.0
+        self._dup_acks = 0
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def send_hello(self, hello: Any, size_bytes: int) -> None:
+        """Send an unreliable liveness beacon outside the reliable stream.
+
+        Hellos bypass the window (a dead link must not wedge monitoring)
+        but still consume channel bandwidth.
+        """
+        self.out_channel.send(_HelloWrapper(hello), size_bytes)
+
+    def _on_packet(self, packet: Any) -> None:
+        if isinstance(packet, _HelloWrapper):
+            if self.on_hello is not None:
+                self.on_hello(packet.hello)
+            return
+        if isinstance(packet, PorHandshake):
+            self._on_handshake(packet)
+            return
+        self._process_packet(packet)
+
+    def _process_packet(self, packet: Any) -> None:
+        if self.config.check_macs and not self._integrity_ok(packet):
+            self.macs_rejected += 1
+            return
+        if isinstance(packet, PorAck):
+            self._on_ack(packet)
+        elif isinstance(packet, PorData):
+            self._on_data(packet)
+
+    def _integrity_ok(self, packet: Any) -> bool:
+        if packet.corrupted:
+            return False
+        if self._real_crypto:
+            try:
+                verify_hmac(self._link_key, self._encode_for_mac(packet), packet.mac)
+            except Exception:
+                return False
+        return True
+
+    def _on_data(self, packet: PorData) -> None:
+        if packet.epoch != self._rx_epoch:
+            if packet.epoch > self._rx_epoch:
+                # Peer restarted: reset receive state for the new epoch.
+                self._rx_epoch = packet.epoch
+                self._chain = CumulativeNonceChain()
+                self._reorder.clear()
+            else:
+                return  # stale epoch
+        expected = self._chain.next_seq
+        if packet.seq < expected:
+            self.duplicates_dropped += 1
+            self._send_ack()  # the ACK that would have cleared it was lost
+            return
+        if packet.seq > expected:
+            if len(self._reorder) < 4 * self.config.window:
+                self._reorder[packet.seq] = packet
+            # Duplicate cumulative ACK: tells the sender a gap opened so
+            # it can fast-retransmit instead of waiting out the RTO.
+            self._send_ack()
+            return
+        self._accept_in_order(packet)
+        while self._chain.next_seq in self._reorder:
+            self._accept_in_order(self._reorder.pop(self._chain.next_seq))
+        self._send_ack()
+
+    def _accept_in_order(self, packet: PorData) -> None:
+        self._chain.fold(packet.seq, packet.nonce)
+        self.data_delivered += 1
+        if self.on_deliver is not None:
+            payload_size = packet.wire_size - self.config.header_overhead
+            self.on_deliver(packet.payload, payload_size)
+
+    def _send_ack(self) -> None:
+        missing: Tuple[int, ...] = ()
+        if self._reorder:
+            expected = self._chain.next_seq
+            horizon = max(self._reorder)
+            missing = tuple(
+                seq for seq in range(expected, horizon)
+                if seq not in self._reorder
+            )[:16]
+        ack = PorAck(
+            self._rx_epoch, self._chain.next_seq - 1, self._chain.proof(), missing
+        )
+        if self._real_crypto:
+            ack.mac = hmac_sha256(self._link_key, self._encode_for_mac(ack))
+        self.out_channel.send(ack, self.config.ack_size + 4 * len(missing))
+        self.acks_sent += 1
+
+    def _on_ack(self, ack: PorAck) -> None:
+        if ack.epoch != self.epoch:
+            return
+        # Note: cum_seq may be -1 (nothing received in order yet); such
+        # ACKs still matter for their NACK list — e.g. when the very
+        # first packet of the stream was lost.
+        if ack.cum_seq == self._verifier.acked_up_to and self._unacked:
+            # Duplicate cumulative ACK: the receiver got something beyond
+            # a gap.  Selectively retransmit the NACKed sequences; after
+            # two duplicates also re-send the head of the window.
+            for seq in ack.missing:
+                self._fast_retransmit(seq)
+            self._dup_acks += 1
+            if self._dup_acks >= 2:
+                self._dup_acks = 0
+                self._fast_retransmit(ack.cum_seq + 1)
+            return
+        record = self._unacked.get(ack.cum_seq)
+        if not self._verifier.check(ack.cum_seq, ack.proof):
+            if ack.cum_seq > self._verifier.acked_up_to:
+                self.bogus_acks_rejected += 1
+            return
+        self._dup_acks = 0
+        # Karn's algorithm: sample RTT only from never-retransmitted packets.
+        if record is not None and not record.retransmitted:
+            self._sample_rtt(self.sim.now - record.first_sent)
+        had_no_room = len(self._unacked) >= self.config.window
+        for seq in list(self._unacked):
+            if seq <= ack.cum_seq:
+                del self._unacked[seq]
+        self._arm_timer()
+        if had_no_room and len(self._unacked) < self.config.window:
+            # The window reopened; wake the upper layer once pacing allows.
+            delay = self.time_until_ready()
+            if delay is not None and self.on_ready is not None:
+                self.sim.schedule(delay, self._fire_ready)
+
+    def _fire_ready(self) -> None:
+        if self.on_ready is None:
+            return
+        if self.can_accept():
+            self.on_ready()
+            return
+        # Pacing got busy again (e.g. an ACK burst); retry when it clears.
+        delay = self.time_until_ready()
+        if delay is not None:
+            self.sim.schedule(max(delay, 1e-4), self._fire_ready)
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _current_rto(self) -> float:
+        if self._srtt is None:
+            return self.config.initial_rto
+        # A generous margin over SRTT: ACKs share the reverse channel
+        # with data and jitter by several serialization quanta under
+        # load; a tight RTO turns that jitter into spurious retransmits
+        # that can waste half the forward capacity.
+        rto = 1.5 * self._srtt + 4 * max(self._rttvar, 0.25 * self._srtt)
+        return min(max(rto, self.config.min_rto), self.config.max_rto)
+
+    def _sample_rtt(self, rtt: float) -> None:
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._unacked:
+            return
+        deadline = min(record.deadline for record in self._unacked.values())
+        self._timer = self.sim.schedule_at(max(deadline, self.sim.now), self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        now = self.sim.now
+        for seq in sorted(self._unacked):
+            record = self._unacked[seq]
+            if record.deadline <= now + 1e-12:
+                record.retransmitted = True
+                record.rto = min(record.rto * 2, self.config.max_rto)
+                record.deadline = now + record.rto
+                self._transmit(seq, record)
+                self.data_retransmitted += 1
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    # Handshake (REAL crypto mode)
+    # ------------------------------------------------------------------
+    def _on_handshake(self, msg: PorHandshake) -> None:
+        if msg.sender != self.peer_id:
+            return
+        if not self.pki.verify(msg.sender, ("dh", msg.sender, msg.dh_public), msg.signature):
+            self.macs_rejected += 1
+            return
+        if self._dh is None:
+            self.start_handshake()
+        peer_public = int.from_bytes(msg.dh_public, "big")
+        self._link_key = self._dh.compute_shared(peer_public)
+        self._established = True
+        if self.on_ready is not None:
+            self.sim.call_soon(self.on_ready)
+
+    @property
+    def _real_crypto(self) -> bool:
+        return self.pki.mode is PkiMode.REAL and self._link_key is not None
+
+    def _encode_for_mac(self, packet: Any) -> bytes:
+        from repro.crypto.encoding import canonical_bytes
+
+        return canonical_bytes(packet.mac_fields())
+
+
+def connect_por_pair(
+    sim: Simulator,
+    a: Any,
+    b: Any,
+    channel_ab: Channel,
+    channel_ba: Channel,
+    pki: Pki,
+    config: Optional[PorConfig] = None,
+    handshake: bool = False,
+) -> Tuple[PorEndpoint, PorEndpoint]:
+    """Create both endpoints of a PoR link over a channel pair.
+
+    With ``handshake=False`` (the default) the link key is installed out
+    of band; with ``handshake=True`` the endpoints run the signed
+    Diffie-Hellman exchange on the wire and only become established once
+    it completes.
+    """
+    end_a = PorEndpoint(sim, a, b, channel_ab, channel_ba, pki, config)
+    end_b = PorEndpoint(sim, b, a, channel_ba, channel_ab, pki, config)
+    if handshake:
+        end_a.start_handshake()
+    else:
+        end_a.establish_out_of_band()
+        end_b.establish_out_of_band()
+    return end_a, end_b

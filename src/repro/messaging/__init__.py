@@ -1,0 +1,36 @@
+"""Intrusion-tolerant messaging semantics.
+
+Two semantics from Section V-C, each combinable with either dissemination
+method (K node-disjoint paths or constrained flooding) on a
+message-by-message basis:
+
+* :mod:`repro.messaging.priority` — Priority Messaging with Source
+  Fairness: strict timeliness for each source's highest-priority
+  messages; per-source fair storage/bandwidth on every outgoing link.
+* :mod:`repro.messaging.reliable` — Reliable Messaging with
+  Source-Destination Fairness: end-to-end reliable in-order delivery per
+  flow, static per-flow buffers with back-pressure, flooded
+  overtaken-by-event E2E ACKs and neighbor ACKs.
+
+Shared pieces: the message/ACK wire formats (:mod:`repro.messaging.message`),
+the duplicate-suppression metadata store (:mod:`repro.messaging.metadata`),
+and the round-robin fair link scheduler (:mod:`repro.messaging.scheduler`).
+"""
+
+from repro.messaging.message import (
+    E2eAck,
+    Message,
+    NeighborAck,
+    Semantics,
+)
+from repro.messaging.metadata import MetadataStore
+from repro.messaging.scheduler import RoundRobinQueue
+
+__all__ = [
+    "Message",
+    "Semantics",
+    "E2eAck",
+    "NeighborAck",
+    "MetadataStore",
+    "RoundRobinQueue",
+]

@@ -1,0 +1,246 @@
+"""Message and acknowledgment formats.
+
+Every data message is signed by its source overlay node with RSA
+(Section V-D, "Cryptographic mechanisms") and carries its dissemination
+method: either the full set of K source-selected node-disjoint paths
+(source-based routing — forwarders cannot redirect a message without
+breaking the signature) or the constrained-flooding flag.
+
+``Message`` objects are immutable; a Byzantine forwarder that wants to
+tamper must build a modified copy, whose signature then fails to verify.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.pki import Pki
+from repro.topology.graph import NodeId
+
+#: Wire bytes added to each data message by the overlay header
+#: (ids, seqno, priority, expiration, dissemination descriptor).
+MESSAGE_HEADER_SIZE = 64
+
+#: Wire size of an E2E ACK: header + per-source cumulative entries.
+E2E_ACK_BASE_SIZE = 48
+E2E_ACK_ENTRY_SIZE = 12
+
+#: Wire size of a neighbor ACK entry (flow id + cumulative seq).
+NEIGHBOR_ACK_BASE_SIZE = 32
+NEIGHBOR_ACK_ENTRY_SIZE = 16
+
+
+class Semantics(enum.Enum):
+    """Which intrusion-tolerant messaging semantics a message uses."""
+
+    PRIORITY = "priority"
+    RELIABLE = "reliable"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One overlay data message.
+
+    Attributes
+    ----------
+    source, dest:
+        Overlay node ids.  (Priority messages are point-to-point in the
+        evaluation; flooding still delivers only to ``dest``.)
+    seq:
+        Monotonically increasing per source (PRIORITY) or consecutive per
+        (source, dest) flow (RELIABLE).
+    semantics:
+        PRIORITY or RELIABLE.
+    priority:
+        1 (lowest) .. 10 (highest); meaningful for PRIORITY only.
+    expiration:
+        Absolute simulated time after which the message is worthless and
+        every node discards it (PRIORITY only; None for RELIABLE).
+    size_bytes:
+        Application payload size (goodput is accounted in payload bytes).
+    flooding / paths:
+        The dissemination method: constrained flooding, or the tuple of
+        source-selected node-disjoint paths.
+    sent_at:
+        Source timestamp used for latency measurement.
+    payload:
+        Opaque application data (not interpreted by the overlay).
+    signature:
+        Source signature over every semantic field above.
+    """
+
+    source: NodeId
+    dest: NodeId
+    seq: int
+    semantics: Semantics
+    priority: int = 1
+    expiration: Optional[float] = None
+    size_bytes: int = 1000
+    flooding: bool = True
+    paths: Optional[Tuple[Tuple[NodeId, ...], ...]] = None
+    sent_at: float = 0.0
+    payload: Any = None
+    signature: Any = None
+
+    # ------------------------------------------------------------------
+    def signed_fields(self) -> Tuple[Any, ...]:
+        """Canonical tuple of fields covered by the source signature."""
+        return (
+            "msg",
+            str(self.source),
+            str(self.dest),
+            self.seq,
+            self.semantics.value,
+            self.priority,
+            self.expiration,
+            self.size_bytes,
+            self.flooding,
+            tuple(tuple(str(n) for n in p) for p in self.paths) if self.paths else None,
+            self.sent_at,
+        )
+
+    def sign(self, pki: Pki) -> "Message":
+        """Return a copy carrying the source's signature."""
+        signature = pki.identity(self.source).sign(self.signed_fields())
+        return replace(self, signature=signature)
+
+    def verify(self, pki: Pki) -> bool:
+        """Check the source signature against the PKI."""
+        return pki.verify(self.source, self.signed_fields(), self.signature)
+
+    # ------------------------------------------------------------------
+    @property
+    def uid(self) -> Tuple[Any, ...]:
+        """Network-wide unique id used for duplicate suppression."""
+        return (self.semantics.value, str(self.source), str(self.dest), self.seq)
+
+    @property
+    def flow(self) -> Tuple[NodeId, NodeId]:
+        return (self.source, self.dest)
+
+    def wire_size(self, signature_size: int) -> int:
+        """Total bytes on the wire: payload + header + paths + signature."""
+        path_bytes = 0
+        if self.paths:
+            path_bytes = sum(4 * len(p) for p in self.paths)
+        return self.size_bytes + MESSAGE_HEADER_SIZE + path_bytes + signature_size
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the message is past its expiration at time ``now``."""
+        return self.expiration is not None and now > self.expiration
+
+    def __repr__(self) -> str:  # pragma: no cover
+        method = "flood" if self.flooding else f"k={len(self.paths or ())}"
+        return (
+            f"Message({self.source}->{self.dest} #{self.seq} "
+            f"{self.semantics.value}/{method} prio={self.priority})"
+        )
+
+
+@dataclass(frozen=True)
+class E2eAck:
+    """A destination's signed, flooded end-to-end acknowledgment.
+
+    ``cumulative`` maps source node id → highest in-order sequence number
+    the destination has received from that source.  ``stamp`` orders ACKs
+    from the same destination (overtaken-by-event: nodes keep only the
+    newest stamp per destination and forward only ACKs that indicate
+    progress, no more often than the E2E timeout).
+    """
+
+    dest: NodeId
+    stamp: int
+    cumulative: Tuple[Tuple[str, int], ...]  # sorted ((source, seq), ...)
+    signature: Any = None
+
+    @staticmethod
+    def make_cumulative(by_source: Dict[NodeId, int]) -> Tuple[Tuple[str, int], ...]:
+        """Canonical sorted tuple form of a per-source cumulative map."""
+        return tuple(sorted((str(s), seq) for s, seq in by_source.items()))
+
+    def signed_fields(self) -> Tuple[Any, ...]:
+        """Canonical tuple of fields covered by the destination signature."""
+        return ("e2e-ack", str(self.dest), self.stamp, self.cumulative)
+
+    @classmethod
+    def create(
+        cls, pki: Pki, dest: NodeId, stamp: int, by_source: Dict[NodeId, int]
+    ) -> "E2eAck":
+        cumulative = cls.make_cumulative(by_source)
+        unsigned = cls(dest, stamp, cumulative)
+        signature = pki.identity(dest).sign(unsigned.signed_fields())
+        return cls(dest, stamp, cumulative, signature)
+
+    def verify(self, pki: Pki) -> bool:
+        """Check the destination signature against the PKI."""
+        return pki.verify(self.dest, self.signed_fields(), self.signature)
+
+    def seq_for(self, source: NodeId) -> int:
+        """Cumulative acked sequence for ``source`` (-1 if absent)."""
+        key = str(source)
+        for src, seq in self.cumulative:
+            if src == key:
+                return seq
+        return -1
+
+    @property
+    def wire_size(self) -> int:
+        return E2E_ACK_BASE_SIZE + E2E_ACK_ENTRY_SIZE * len(self.cumulative)
+
+    def indicates_progress_over(self, other: Optional["E2eAck"]) -> bool:
+        """True if this ACK advances any flow relative to ``other``."""
+        if other is None:
+            return True
+        if self.stamp <= other.stamp:
+            return False
+        theirs = dict(other.cumulative)
+        return any(seq > theirs.get(src, -1) for src, seq in self.cumulative)
+
+
+@dataclass(frozen=True)
+class NeighborAck:
+    """Hop-local, unsigned ACK: "for flow F, I have stored up to ``h`` and
+    can store up to ``limit``".
+
+    Sent between direct neighbors over the (already authenticated) PoR
+    link, so no end-to-end signature is needed.  Used by Reliable
+    Messaging to avoid forwarding messages a neighbor already has
+    (``h``), for hop-by-hop flow control (``limit`` = acked + buffer, so
+    honest senders never overrun a neighbor's static per-flow buffer),
+    and to re-trigger sending when the neighbor's buffer frees.
+    """
+
+    sender: NodeId
+    #: ((source, dest), stored_h, limit) per flow.
+    entries: Tuple[Tuple[Tuple[str, str], int, int], ...]
+
+    @property
+    def wire_size(self) -> int:
+        return NEIGHBOR_ACK_BASE_SIZE + NEIGHBOR_ACK_ENTRY_SIZE * len(self.entries)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Periodic liveness beacon used for link monitoring."""
+
+    sender: NodeId
+    stamp: int
+
+    WIRE_SIZE = 24
+
+
+@dataclass(frozen=True)
+class StateRequest:
+    """Sent by a node recovering from a crash (Section V-C2).
+
+    The neighbor replies with its latest stored E2E ACKs (so the
+    recovering node can skip forward to global progress) and rewinds its
+    per-flow sending cursors toward the requester (so unacknowledged data
+    is retransmitted).
+    """
+
+    sender: NodeId
+
+    WIRE_SIZE = 24

@@ -1,0 +1,61 @@
+"""Duplicate-suppression metadata for Priority Messaging.
+
+"Since Priority Messaging does not provide ordered delivery, we cannot
+rely on a single sequence number for each source to detect duplicates and
+defeat replay attacks.  Each node must store the metadata (i.e. source and
+sequence number, but not the message content) of each unique received
+message until that message expires.  To limit storage required for
+metadata, we can enforce an upper bound on the lifetime of each message."
+
+:class:`MetadataStore` keeps each seen message uid until its expiration
+time and reclaims memory lazily with an expiry heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, List, Tuple
+
+
+class MetadataStore:
+    """Uid → expiry map with heap-based garbage collection."""
+
+    def __init__(self, max_lifetime: float = 120.0):
+        #: Upper bound applied to every recorded lifetime (bounds memory).
+        self.max_lifetime = max_lifetime
+        self._expiry: dict = {}
+        self._heap: List[Tuple[float, Hashable]] = []
+        self.duplicates_detected = 0
+
+    def __len__(self) -> int:
+        return len(self._expiry)
+
+    def check_and_record(self, uid: Hashable, expiration: float, now: float) -> bool:
+        """Record ``uid``; returns True if new, False if a duplicate.
+
+        ``expiration`` is the message's own expiration time; it is capped
+        at ``now + max_lifetime`` so a malicious source cannot force
+        unbounded metadata retention.
+        """
+        self._collect(now)
+        if uid in self._expiry:
+            self.duplicates_detected += 1
+            return False
+        capped = min(expiration, now + self.max_lifetime)
+        self._expiry[uid] = capped
+        heapq.heappush(self._heap, (capped, uid))
+        return True
+
+    def seen(self, uid: Hashable, now: float) -> bool:
+        """Non-recording membership check."""
+        expiry = self._expiry.get(uid)
+        return expiry is not None and expiry >= now
+
+    def _collect(self, now: float) -> None:
+        while self._heap and self._heap[0][0] < now:
+            _, uid = heapq.heappop(self._heap)
+            # The uid may have been re-pushed with a later expiry; only
+            # drop it when the stored expiry really has passed.
+            expiry = self._expiry.get(uid)
+            if expiry is not None and expiry < now:
+                del self._expiry[uid]

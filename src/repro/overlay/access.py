@@ -1,0 +1,176 @@
+"""External client access to the overlay (Figure 1, Section IV-A).
+
+"While the overlay topology is relatively stable, clients can connect
+from anywhere at any time."  Clients are not overlay members: they hold
+no overlay keys, take no part in routing, and are exactly the white
+boxes of Figure 1 — applications attached to a nearby overlay node over
+an access link.
+
+An :class:`AccessPoint` manages the clients attached to one overlay
+node.  A client submits application messages over its (simulated) access
+channel; the overlay node injects them as *its own* signed traffic (so
+all the intrusion-tolerance guarantees and the per-source fairness of
+the overlay apply at the granularity of overlay nodes, as in the paper),
+wrapping the payload in a :class:`ClientEnvelope` addressed to a client
+attached at the destination node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.messaging.message import Message, Semantics
+from repro.overlay.network import OverlayNetwork
+from repro.sim.channel import Channel, ChannelConfig
+from repro.topology.graph import NodeId
+
+
+@dataclass(frozen=True)
+class ClientEnvelope:
+    """Application payload addressed client-to-client."""
+
+    from_client: str
+    to_client: Optional[str]  # None: deliver to the node's local app
+    data: Any
+
+
+@dataclass(frozen=True)
+class _ClientSubmit:
+    """What a client sends up its access link."""
+
+    dest_node: NodeId
+    to_client: Optional[str]
+    semantics: Semantics
+    size_bytes: int
+    priority: Optional[int]
+    data: Any
+
+
+class ExternalClient:
+    """One client attached to an overlay node via an access link."""
+
+    def __init__(self, access_point: "AccessPoint", client_id: str,
+                 uplink: Channel, downlink: Channel):
+        self._access = access_point
+        self.client_id = client_id
+        self._uplink = uplink
+        self._downlink = downlink
+        downlink.on_receive = self._on_receive
+        self.received: List[Tuple[float, ClientEnvelope]] = []
+        self.on_receive: Optional[Callable[[ClientEnvelope], None]] = None
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest_node: NodeId,
+        data: Any = None,
+        to_client: Optional[str] = None,
+        size_bytes: int = 1000,
+        semantics: Semantics = Semantics.PRIORITY,
+        priority: Optional[int] = None,
+    ) -> None:
+        """Submit one application message toward ``dest_node`` (and
+        optionally a specific client attached there)."""
+        submit = _ClientSubmit(
+            dest_node=dest_node,
+            to_client=to_client,
+            semantics=semantics,
+            size_bytes=size_bytes,
+            priority=priority,
+            data=data,
+        )
+        self.messages_sent += 1
+        self._uplink.send(submit, size_bytes + 32)
+
+    def detach(self) -> None:
+        """Disconnect this client from its access point."""
+        self._access.detach(self.client_id)
+
+    # ------------------------------------------------------------------
+    def _on_receive(self, envelope: ClientEnvelope) -> None:
+        self.received.append((self._access.network.sim.now, envelope))
+        if self.on_receive is not None:
+            self.on_receive(envelope)
+
+
+class AccessPoint:
+    """The client-facing side of one overlay node."""
+
+    #: Default access-link properties: a client is usually near its node.
+    DEFAULT_LATENCY = 0.002
+
+    def __init__(self, network: OverlayNetwork, node_id: NodeId):
+        self.network = network
+        self.node_id = node_id
+        self.node = network.node(node_id)
+        self.clients: Dict[str, ExternalClient] = {}
+        self.undeliverable = 0
+        previous = self.node.on_deliver
+        self.node.on_deliver = self._on_overlay_deliver
+        self._chained_on_deliver = previous
+
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        client_id: str,
+        latency: float = DEFAULT_LATENCY,
+        bandwidth_bps: Optional[float] = None,
+    ) -> ExternalClient:
+        """Connect a new client over a fresh access link."""
+        if client_id in self.clients:
+            raise ConfigurationError(f"client {client_id!r} already attached")
+        sim = self.network.sim
+        config = ChannelConfig(latency=latency, bandwidth_bps=bandwidth_bps)
+        uplink = Channel(sim, config, name=f"access:{client_id}->{self.node_id}")
+        downlink = Channel(sim, config, name=f"access:{self.node_id}->{client_id}")
+        uplink.on_receive = lambda submit: self._on_client_submit(client_id, submit)
+        client = ExternalClient(self, client_id, uplink, downlink)
+        self.clients[client_id] = client
+        return client
+
+    def detach(self, client_id: str) -> None:
+        """Remove a client; later traffic to it counts as undeliverable."""
+        self.clients.pop(client_id, None)
+
+    # ------------------------------------------------------------------
+    def _on_client_submit(self, client_id: str, submit: _ClientSubmit) -> None:
+        if self.node.crashed or client_id not in self.clients:
+            return
+        envelope = ClientEnvelope(
+            from_client=client_id, to_client=submit.to_client, data=submit.data
+        )
+        if submit.semantics is Semantics.PRIORITY:
+            self.node.send_priority(
+                submit.dest_node,
+                size_bytes=submit.size_bytes,
+                priority=submit.priority,
+                payload=envelope,
+            )
+        else:
+            accepted = self.node.send_reliable(
+                submit.dest_node, size_bytes=submit.size_bytes, payload=envelope
+            )
+            if not accepted:
+                # Back-pressure: retry shortly, preserving order (the
+                # next submit cannot overtake us because the retry holds
+                # the access handler's FIFO slot via re-submission).
+                self.network.sim.schedule(
+                    0.05, self._on_client_submit, client_id, submit
+                )
+
+    def _on_overlay_deliver(self, message: Message) -> None:
+        if self._chained_on_deliver is not None:
+            self._chained_on_deliver(message)
+        envelope = message.payload
+        if not isinstance(envelope, ClientEnvelope):
+            return
+        if envelope.to_client is None:
+            return
+        client = self.clients.get(envelope.to_client)
+        if client is None:
+            self.undeliverable += 1
+            return
+        client._downlink.send(envelope, message.size_bytes + 16)

@@ -1,0 +1,128 @@
+"""Configuration for the intrusion-tolerant overlay."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.pki import PkiMode
+from repro.errors import ConfigurationError
+from repro.link.por import PorConfig
+from repro.sim.cpu import CpuCosts
+
+
+class CryptoMode(enum.Enum):
+    """How overlay messages are authenticated.
+
+    ``NONE`` disables signatures and MAC checks entirely — only used for
+    row (a) of Table II.  ``SIMULATED`` keeps all verification logic (and
+    can charge CPU time via :class:`repro.sim.cpu.CpuCosts`) without real
+    bignum math.  ``REAL`` runs the from-scratch RSA/DH/HMAC stack.
+    """
+
+    NONE = "none"
+    SIMULATED = "simulated"
+    REAL = "real"
+
+    @property
+    def pki_mode(self) -> PkiMode:
+        return {
+            CryptoMode.NONE: PkiMode.NONE,
+            CryptoMode.SIMULATED: PkiMode.SIMULATED,
+            CryptoMode.REAL: PkiMode.REAL,
+        }[self]
+
+
+@dataclass(frozen=True)
+class DisseminationMethod:
+    """Per-message dissemination selector.
+
+    Use the factories: ``DisseminationMethod.flooding()`` or
+    ``DisseminationMethod.k_paths(k)``.
+    """
+
+    kind: str  # "flooding" | "kpaths"
+    k: int = 0
+
+    @classmethod
+    def flooding(cls) -> "DisseminationMethod":
+        return cls(kind="flooding")
+
+    @classmethod
+    def k_paths(cls, k: int) -> "DisseminationMethod":
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1 (got {k})")
+        return cls(kind="kpaths", k=k)
+
+    @property
+    def is_flooding(self) -> bool:
+        return self.kind == "flooding"
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """All tunables of an overlay deployment.
+
+    The defaults are the scaled laboratory settings used by the unit and
+    integration tests; the benchmark harness overrides capacity, buffer
+    sizes, and timeouts per experiment (see ``EXPERIMENTS.md``).
+    """
+
+    # Transport.
+    link_bandwidth_bps: Optional[float] = 1e6
+    channel_loss_rate: float = 0.0
+    por: PorConfig = field(default_factory=PorConfig)
+
+    # Cryptography / CPU model.
+    crypto: CryptoMode = CryptoMode.SIMULATED
+    cpu_costs: CpuCosts = field(default_factory=CpuCosts.free)
+    #: When the CPU's queued work exceeds this many seconds, incoming
+    #: best-effort (priority) data is dropped instead of queued.
+    cpu_drop_backlog: float = 0.05
+
+    # Priority Messaging.
+    priority_queue_capacity: int = 200
+    default_priority: int = 5
+    default_expire_after: float = 30.0
+    max_message_lifetime: float = 120.0
+
+    # Reliable Messaging.
+    reliable_buffer: int = 64
+    e2e_ack_timeout: float = 0.5
+    e2e_acks_enabled: bool = True
+    neighbor_ack_delay: float = 0.005
+    reliable_stall_timeout: float = 2.0
+    reliable_link_window: int = 16
+    #: Repair links serve a seq only after it has aged this long locally
+    #: and the neighbor still lacks it (see ReliableEngine._activate).
+    reliable_forward_hold: float = 0.25
+
+    # Routing / link monitoring.
+    hello_interval: float = 1.0
+    hello_timeout: float = 3.5
+    routing_update_rate: float = 10.0
+    routing_update_burst: int = 20
+
+    # Naïve-flooding baseline (Table IV / Figure 4a): disable the
+    # constrained-flooding optimizations so messages traverse every edge
+    # in both directions.
+    naive_flooding: bool = False
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth_bps is not None and self.link_bandwidth_bps <= 0:
+            raise ConfigurationError("link_bandwidth_bps must be positive")
+        if not 0.0 <= self.channel_loss_rate < 1.0:
+            raise ConfigurationError("channel_loss_rate must be in [0, 1)")
+        if self.priority_queue_capacity < 1:
+            raise ConfigurationError("priority_queue_capacity must be >= 1")
+        if self.reliable_buffer < 1:
+            raise ConfigurationError("reliable_buffer must be >= 1")
+        if self.e2e_ack_timeout <= 0:
+            raise ConfigurationError("e2e_ack_timeout must be positive")
+        if self.reliable_link_window < 1:
+            raise ConfigurationError("reliable_link_window must be >= 1")
+        if self.neighbor_ack_delay < 0:
+            raise ConfigurationError("neighbor_ack_delay must be >= 0")
+        if self.hello_timeout <= self.hello_interval:
+            raise ConfigurationError("hello_timeout must exceed hello_interval")

@@ -1,0 +1,573 @@
+"""The intrusion-tolerant overlay node.
+
+One :class:`OverlayNode` glues every layer together (Figure layering in
+DESIGN.md): Proof-of-Receipt links to each MTMW neighbor, the validated
+link-state routing view, the two messaging engines, the dissemination
+methods, per-node CPU accounting, link monitoring via hellos, and the
+Byzantine behaviour hook.
+
+The send path is *pull-based*: each outgoing link's :class:`LinkSender`
+pumps messages out of the fair schedulers whenever the PoR link can
+accept another packet, so the queueing discipline (round-robin across
+sources/flows, eviction, priority order) is applied at the moment of
+transmission exactly as in Section V-C.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.byzantine.behaviors import Behavior, HonestBehavior
+from repro.crypto.pki import Pki
+from repro.errors import ConfigurationError, ProtocolError
+from repro.link.por import PorEndpoint
+from repro.messaging.message import (
+    E2eAck,
+    Hello,
+    Message,
+    NeighborAck,
+    Semantics,
+    StateRequest,
+)
+from repro.messaging.metadata import MetadataStore
+from repro.messaging.priority import PriorityEngine, PriorityLinkQueue
+from repro.messaging.reliable import ReliableEngine, ReliableLinkState
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.routing.link_state import UPDATE_WIRE_SIZE, LinkStateUpdate
+from repro.routing.state import FAILED_WEIGHT, RoutingState
+from repro.routing.validation import UpdateResult
+from repro.sim.cpu import Cpu
+from repro.sim.engine import EventHandle, PeriodicTimer, Simulator
+from repro.sim.stats import StatsRegistry
+from repro.topology.graph import NodeId
+from repro.topology.mtmw import Mtmw, MtmwHolder, MtmwUpdateResult
+
+#: Wire bytes of a redistributed MTMW: header + per-node and per-edge
+#: entries + the administrator signature.
+MTMW_BASE_SIZE = 32
+MTMW_NODE_ENTRY = 8
+MTMW_EDGE_ENTRY = 16
+
+
+def mtmw_wire_size(mtmw: Mtmw, signature_size: int) -> int:
+    """Wire bytes of a redistributed MTMW for size accounting."""
+    topo = mtmw.topology
+    return (
+        MTMW_BASE_SIZE
+        + MTMW_NODE_ENTRY * len(topo.nodes)
+        + MTMW_EDGE_ENTRY * topo.edge_count
+        + signature_size
+    )
+
+
+def _noop() -> None:
+    return None
+
+
+class LinkSender:
+    """Everything a node keeps per outgoing overlay link.
+
+    Scheduling order on the wire: control traffic (ACKs, routing updates,
+    state requests) first — it is tiny and rate-limited — then data,
+    alternating fairly between the Priority and Reliable engines when
+    both have backlog.
+    """
+
+    def __init__(self, node: "OverlayNode", neighbor: NodeId, por: PorEndpoint):
+        self.node = node
+        self.neighbor = neighbor
+        self.por = por
+        self.control: Deque[Tuple[Any, int]] = deque()
+        self.priority_queue = PriorityLinkQueue(node.config.priority_queue_capacity)
+        self.reliable = ReliableLinkState(node.config.reliable_buffer)
+        self._serve_reliable_next = False
+        self._pump_event: Optional[EventHandle] = None
+        # Link monitoring.
+        self.monitor_up = True
+        self.last_heard: float = node.sim.now
+        # Observability.
+        self.data_transmissions = 0
+        self.control_transmissions = 0
+
+        por.on_deliver = self._on_deliver
+        por.on_ready = self.pump
+        por.on_hello = self._on_hello
+
+    # ------------------------------------------------------------------
+    def _on_deliver(self, payload: Any, size: int) -> None:
+        self.node.on_link_deliver(self.neighbor, payload, size)
+
+    def _on_hello(self, hello: Any) -> None:
+        if isinstance(hello, Hello) and hello.sender == self.neighbor:
+            self.last_heard = self.node.sim.now
+
+    def enqueue_control(self, payload: Any, size: int, raw: bool = False) -> None:
+        """Queue a control payload.  ``raw=True`` bypasses the Byzantine
+        outgoing filter — used by behaviours re-injecting traffic they
+        already intercepted, so they don't re-filter their own output."""
+        self.control.append((payload, size, raw))
+
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Transmit while the PoR link accepts; reschedule on pacing."""
+        node = self.node
+        if node.crashed:
+            return
+        if not node.mtmw.are_neighbors(node.node_id, self.neighbor):
+            return  # the administrator removed this link from the MTMW
+        while self.por.established and self.por.can_accept():
+            item = self._next_item()
+            if item is None:
+                return
+            payload, size, raw = item
+            if raw:
+                filtered = payload
+            else:
+                filtered = node.behavior.filter_outgoing(payload, self.neighbor, node)
+            if filtered is None:
+                continue
+            if isinstance(filtered, Message):
+                self.data_transmissions += 1
+                node.stats.counter("data_transmissions").add()
+            else:
+                self.control_transmissions += 1
+            if node.cpu.enabled and node.cpu.costs.tx_packet > 0.0:
+                node.cpu.execute(node.cpu.costs.tx_packet, _noop)
+            self.por.send(filtered, size)
+        if self._pump_event is None and self._has_backlog():
+            delay = self.por.time_until_ready()
+            if delay is not None:
+                self._pump_event = node.sim.schedule(max(delay, 1e-5), self._pump_retry)
+
+    def _pump_retry(self) -> None:
+        self._pump_event = None
+        self.pump()
+
+    def _has_backlog(self) -> bool:
+        return bool(
+            self.control
+            or len(self.priority_queue)
+            or self.node.reliable.has_work_for_link(self)
+        )
+
+    def _next_item(self) -> Optional[Tuple[Any, int, bool]]:
+        node = self.node
+        if self.control:
+            return self.control.popleft()
+        first_reliable = self._serve_reliable_next
+        for attempt in range(2):
+            serve_reliable = first_reliable ^ (attempt == 1)
+            if serve_reliable:
+                message = node.reliable.next_for_link(self)
+                if message is not None:
+                    self._serve_reliable_next = False
+                    return message, message.wire_size(node.pki.signature_wire_size), False
+            else:
+                message = self.priority_queue.next_message(node.sim.now)
+                if message is not None:
+                    self._serve_reliable_next = True
+                    return message, message.wire_size(node.pki.signature_wire_size), False
+        return None
+
+
+class OverlayNode:
+    """One overlay node: links, routing, messaging, monitoring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: NodeId,
+        mtmw: Mtmw,
+        pki: Pki,
+        config: OverlayConfig,
+        stats: StatsRegistry,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self._mtmw_holder = MtmwHolder(pki, mtmw)
+        self.pki = pki
+        self.config = config
+        self.stats = stats
+        self.cpu = Cpu(sim, config.cpu_costs, name=f"cpu:{node_id}")
+        self.routing = RoutingState(
+            mtmw,
+            pki,
+            update_rate_per_second=config.routing_update_rate,
+            update_burst=config.routing_update_burst,
+        )
+        self.links: Dict[NodeId, LinkSender] = {}
+        self.metadata = MetadataStore(config.max_message_lifetime)
+        self.priority = PriorityEngine(self)
+        self.reliable = ReliableEngine(self)
+        self.behavior: Behavior = HonestBehavior()
+        self.crashed = False
+        self.on_deliver: Optional[Callable[[Message], None]] = None
+
+        self.non_neighbor_rejected = 0
+        self._priority_seq = 0
+        self._ls_seqno = 0
+        self._hello_stamp = 0
+        self._e2e_timer = PeriodicTimer(sim, config.e2e_ack_timeout, self._e2e_tick)
+        self._hello_timer = PeriodicTimer(sim, config.hello_interval, self._hello_tick)
+        self.invalid_messages_rejected = 0
+
+    @property
+    def mtmw(self) -> Mtmw:
+        """The node's current (newest validly signed) MTMW."""
+        return self._mtmw_holder.current
+
+    # ------------------------------------------------------------------
+    # MTMW redistribution (Section V-A)
+    # ------------------------------------------------------------------
+    def adopt_mtmw(
+        self, candidate: Mtmw, from_neighbor: Optional[NodeId] = None
+    ) -> MtmwUpdateResult:
+        """Offer a redistributed MTMW; adopt and flood it if fresh.
+
+        "In the event that a change is needed, the offline system
+        administrator can update, sign, and re-distribute the MTMW.  Each
+        MTMW is assigned a unique monotonically increasing sequence
+        number to defeat replay attacks."
+
+        Adoption rebuilds the routing view against the new minimum
+        weights; links no longer in the MTMW stop being used in either
+        direction.  Flow and dedup state is preserved (topology changes
+        are administrative, not crashes).
+        """
+        result = self._mtmw_holder.consider(candidate)
+        if result is not MtmwUpdateResult.ACCEPTED:
+            return result
+        self.routing = RoutingState(
+            self.mtmw,
+            self.pki,
+            update_rate_per_second=self.config.routing_update_rate,
+            update_burst=self.config.routing_update_burst,
+        )
+        self.reliable.refresh_membership()
+        size = mtmw_wire_size(candidate, self.pki.signature_wire_size)
+        for neighbor, link in self.links.items():
+            if neighbor != from_neighbor:
+                link.enqueue_control(candidate, size)
+                link.pump()
+        return result
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_link(self, neighbor: NodeId, por: PorEndpoint) -> LinkSender:
+        """Wire a PoR endpoint to an MTMW neighbor as an outgoing link."""
+        if not self.mtmw.are_neighbors(self.node_id, neighbor):
+            raise ConfigurationError(
+                f"{self.node_id!r} and {neighbor!r} are not MTMW neighbors"
+            )
+        link = LinkSender(self, neighbor, por)
+        self.links[neighbor] = link
+        return link
+
+    def start(self) -> None:
+        """Arm periodic timers (phase-staggered per node id)."""
+        phase = (hash(str(self.node_id)) % 1000) / 1000.0
+        if self.config.e2e_acks_enabled:
+            self._e2e_timer.start(phase=phase * self.config.e2e_ack_timeout)
+        self._hello_timer.start(phase=phase * self.config.hello_interval)
+
+    # ------------------------------------------------------------------
+    # Application send API
+    # ------------------------------------------------------------------
+    def send_priority(
+        self,
+        dest: NodeId,
+        size_bytes: int = 1000,
+        priority: Optional[int] = None,
+        method: Optional[DisseminationMethod] = None,
+        payload: Any = None,
+        expire_after: Optional[float] = None,
+        explicit_paths: Optional[Tuple[Tuple[NodeId, ...], ...]] = None,
+    ) -> Message:
+        """Inject one Priority Messaging message as this node (the source).
+
+        ``explicit_paths`` overrides the routing-computed paths (pure
+        source routing): used to emulate external routing policies and by
+        attack tests.
+        """
+        if self.crashed:
+            raise ProtocolError(f"node {self.node_id!r} is crashed")
+        method = method or DisseminationMethod.flooding()
+        self._priority_seq += 1
+        expiration = self.sim.now + (
+            expire_after if expire_after is not None else self.config.default_expire_after
+        )
+        if explicit_paths is not None:
+            flooding, paths = False, explicit_paths
+        else:
+            flooding = method.is_flooding
+            paths = None if flooding else self._compute_paths(dest, method.k)
+        message = Message(
+            source=self.node_id,
+            dest=dest,
+            seq=self._priority_seq,
+            semantics=Semantics.PRIORITY,
+            priority=priority if priority is not None else self.config.default_priority,
+            expiration=expiration,
+            size_bytes=size_bytes,
+            flooding=flooding,
+            paths=paths,
+            sent_at=self.sim.now,
+            payload=payload,
+        ).sign(self.pki)
+        self.stats.counter("messages_injected").add()
+        self.priority.messages_originated += 1
+        self.cpu.sign(self.priority.handle, message, None)
+        return message
+
+    def send_reliable(
+        self,
+        dest: NodeId,
+        size_bytes: int = 1000,
+        method: Optional[DisseminationMethod] = None,
+        payload: Any = None,
+    ) -> bool:
+        """Inject one Reliable Messaging message; False under back-pressure."""
+        if self.crashed:
+            raise ProtocolError(f"node {self.node_id!r} is crashed")
+        if not self.reliable.can_send(dest):
+            return False
+        method = method or DisseminationMethod.flooding()
+        message = Message(
+            source=self.node_id,
+            dest=dest,
+            seq=self.reliable.next_seq(dest),
+            semantics=Semantics.RELIABLE,
+            size_bytes=size_bytes,
+            flooding=method.is_flooding,
+            paths=None if method.is_flooding else self._compute_paths(dest, method.k),
+            sent_at=self.sim.now,
+            payload=payload,
+        ).sign(self.pki)
+        accepted = self.reliable.try_send(message)
+        if accepted:
+            self.stats.counter("messages_injected").add()
+            if self.cpu.enabled:
+                self.cpu.execute(self.cpu.costs.rsa_sign, lambda: None)
+        return accepted
+
+    def reliable_can_send(self, dest: NodeId) -> bool:
+        """Whether a reliable send to ``dest`` would currently be accepted."""
+        return not self.crashed and self.reliable.can_send(dest)
+
+    def _compute_paths(self, dest: NodeId, k: int) -> Tuple[Tuple[NodeId, ...], ...]:
+        paths = self.routing.k_paths_best_effort(self.node_id, dest, k)
+        if not paths:
+            raise ProtocolError(f"no path from {self.node_id!r} to {dest!r}")
+        return tuple(tuple(p) for p in paths)
+
+    # ------------------------------------------------------------------
+    # Receive dispatch
+    # ------------------------------------------------------------------
+    def on_link_deliver(self, neighbor: NodeId, payload: Any, size: int) -> None:
+        """Entry point for every payload delivered by a PoR link."""
+        if self.crashed:
+            return
+        payload = self.behavior.filter_incoming(payload, neighbor, self)
+        if payload is None:
+            return
+        if not self.mtmw.are_neighbors(self.node_id, neighbor):
+            # "Overlay nodes only accept messages from their direct
+            # neighbors in the MTMW."  A redistributed MTMW itself is
+            # still accepted (it is admin-signed and replay-protected,
+            # and the sender may hold a fresher topology than we do).
+            if not isinstance(payload, Mtmw):
+                self.non_neighbor_rejected += 1
+                return
+        if not self.cpu.enabled:
+            self._dispatch(payload, neighbor)
+            return
+        # Duplicate copies take the cheap path: recognized by the dedup
+        # state *before* any expensive work (and before signature
+        # verification — only verified messages populate the dedup state,
+        # so this cannot be used to suppress genuine traffic).
+        if isinstance(payload, Message) and self._is_known_duplicate(payload):
+            self.cpu.execute(
+                self.cpu.costs.duplicate_packet, self._dispatch_duplicate, payload, neighbor
+            )
+            return
+        # Bounded input queues: when the CPU is overloaded, best-effort
+        # (priority) data is dropped rather than queued forever; reliable
+        # data and control traffic are flow-controlled and rate-limited,
+        # so their volume is already bounded.
+        if (
+            isinstance(payload, Message)
+            and payload.semantics is Semantics.PRIORITY
+            and self.cpu.backlog() > self.config.cpu_drop_backlog
+        ):
+            self.cpu.overload_drops += 1
+            self.stats.counter("cpu_overload_drops").add()
+            return
+        self.cpu.execute(
+            self.cpu.costs.process_packet + self.cpu.costs.hmac,
+            self._dispatch,
+            payload,
+            neighbor,
+        )
+
+    def _is_known_duplicate(self, message: Message) -> bool:
+        if message.semantics is Semantics.PRIORITY:
+            return self.metadata.seen(message.uid, self.sim.now)
+        state = self.reliable.flows.get(message.flow)
+        return state is not None and message.seq <= state.stored_h
+
+    def _dispatch_duplicate(self, message: Message, neighbor: NodeId) -> None:
+        if self.crashed:
+            return
+        if message.semantics is Semantics.PRIORITY:
+            self.priority.note_duplicate(message, neighbor)
+        else:
+            self.reliable.note_duplicate(message, neighbor)
+
+    def _dispatch(self, payload: Any, neighbor: NodeId) -> None:
+        if self.crashed:
+            return
+        if isinstance(payload, Message):
+            self._charge_verify(self._handle_data, payload, neighbor)
+        elif isinstance(payload, NeighborAck):
+            self.reliable.handle_neighbor_ack(payload, neighbor)
+        elif isinstance(payload, E2eAck):
+            self._charge_verify(self._handle_e2e_ack, payload, neighbor)
+        elif isinstance(payload, LinkStateUpdate):
+            self._charge_verify(self._handle_link_state, payload, neighbor)
+        elif isinstance(payload, Mtmw):
+            self._charge_verify(self.adopt_mtmw, payload, neighbor)
+        elif isinstance(payload, StateRequest):
+            self._handle_state_request(payload, neighbor)
+
+    def _charge_verify(self, handler: Callable[..., None], *args: Any) -> None:
+        if self.cpu.enabled:
+            self.cpu.verify(handler, *args)
+        else:
+            handler(*args)
+
+    def _handle_data(self, message: Message, neighbor: NodeId) -> None:
+        if self.crashed:
+            return
+        if not message.verify(self.pki):
+            self.invalid_messages_rejected += 1
+            self.stats.counter("invalid_signatures").add()
+            return
+        if message.semantics is Semantics.PRIORITY:
+            self.priority.handle(message, neighbor)
+        else:
+            self.reliable.handle(message, neighbor)
+
+    def _handle_e2e_ack(self, ack: E2eAck, neighbor: NodeId) -> None:
+        if self.crashed:
+            return
+        if not ack.verify(self.pki):
+            self.invalid_messages_rejected += 1
+            return
+        self.reliable.handle_e2e_ack(ack, neighbor)
+
+    def _handle_link_state(self, update: LinkStateUpdate, neighbor: NodeId) -> None:
+        if self.crashed:
+            return
+        result = self.routing.apply_update(update, now=self.sim.now)
+        if result is UpdateResult.ACCEPTED:
+            for other, link in self.links.items():
+                if other != neighbor:
+                    link.enqueue_control(update, UPDATE_WIRE_SIZE)
+                    link.pump()
+
+    def _handle_state_request(self, request: StateRequest, neighbor: NodeId) -> None:
+        link = self.links.get(neighbor)
+        if link is None or request.sender != neighbor:
+            return
+        # Rewind all sending cursors: the neighbor lost its soft state.
+        link.reliable = ReliableLinkState(self.config.reliable_buffer)
+        for dest_ack in self.reliable.latest_acks.values():
+            link.enqueue_control(dest_ack, dest_ack.wire_size)
+        self.reliable.reactivate_link(link)
+        link.pump()
+
+    # ------------------------------------------------------------------
+    # Local delivery
+    # ------------------------------------------------------------------
+    def deliver_local(self, message: Message) -> None:
+        """Deliver a message addressed to this node: record stats, call the app."""
+        latency = self.sim.now - message.sent_at
+        flow_name = f"{message.source}->{message.dest}"
+        self.stats.goodput(f"flow:{flow_name}").record(message.size_bytes)
+        self.stats.goodput("delivered").record(message.size_bytes)
+        self.stats.latency(f"latency:{flow_name}").record(self.sim.now, latency)
+        self.stats.counter("messages_delivered").add()
+        self.stats.series(f"priority-count:{flow_name}:{message.priority}").record(
+            self.sim.now, 1.0
+        )
+        if self.on_deliver is not None:
+            self.on_deliver(message)
+
+    # ------------------------------------------------------------------
+    # Timers: E2E ACK generation and link monitoring
+    # ------------------------------------------------------------------
+    def _e2e_tick(self) -> None:
+        if not self.crashed:
+            self.reliable.generate_e2e_ack()
+
+    def _hello_tick(self) -> None:
+        if self.crashed:
+            return
+        self._hello_stamp += 1
+        hello = Hello(self.node_id, self._hello_stamp)
+        for neighbor, link in self.links.items():
+            if self.mtmw.are_neighbors(self.node_id, neighbor):
+                link.por.send_hello(hello, Hello.WIRE_SIZE)
+        self._check_link_liveness()
+        self.reliable.check_stalls()
+
+    def _check_link_liveness(self) -> None:
+        now = self.sim.now
+        for neighbor, link in self.links.items():
+            if not self.mtmw.are_neighbors(self.node_id, neighbor):
+                continue  # administratively removed from the topology
+            alive = (now - link.last_heard) <= self.config.hello_timeout
+            if link.monitor_up and not alive:
+                link.monitor_up = False
+                self._issue_link_update(neighbor, FAILED_WEIGHT)
+            elif not link.monitor_up and alive:
+                link.monitor_up = True
+                self._issue_link_update(
+                    neighbor, self.mtmw.min_weight(self.node_id, neighbor)
+                )
+
+    def _issue_link_update(self, neighbor: NodeId, weight: float) -> None:
+        self._ls_seqno += 1
+        update = self.routing.make_update(self.node_id, neighbor, weight, self._ls_seqno)
+        self.routing.apply_update(update, now=self.sim.now)
+        for link in self.links.values():
+            link.enqueue_control(update, UPDATE_WIRE_SIZE)
+            link.pump()
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all soft state and stop participating."""
+        self.crashed = True
+        self.metadata = MetadataStore(self.config.max_message_lifetime)
+        self.reliable.reset()
+        for link in self.links.values():
+            link.control.clear()
+            link.priority_queue = PriorityLinkQueue(self.config.priority_queue_capacity)
+            link.reliable = ReliableLinkState(self.config.reliable_buffer)
+
+    def recover(self) -> None:
+        """Restart: reset link sessions and ask neighbors for state."""
+        self.crashed = False
+        for link in self.links.values():
+            link.por.reset()
+            link.last_heard = self.sim.now
+            request = StateRequest(self.node_id)
+            link.enqueue_control(request, StateRequest.WIRE_SIZE)
+            link.pump()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OverlayNode({self.node_id!r}, links={sorted(map(str, self.links))})"

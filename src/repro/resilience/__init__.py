@@ -1,0 +1,36 @@
+"""The resilient networking architecture (Section IV).
+
+The overlay's channels ride on an *underlay* of multiple ISP networks:
+
+* :mod:`repro.resilience.underlay` — ISP contracts and multihoming: an
+  overlay link is usable while at least one (ISP-at-A, ISP-at-B)
+  combination still passes traffic (Figure 1);
+* :mod:`repro.resilience.bgp` — BGP hijacking: cross-ISP routes are
+  diverted, same-ISP routes survive (Section IV-B);
+* :mod:`repro.resilience.ddos` — Crossfire/Coremelt-style rotating
+  link-flooding attacks that keep a path broken while evading per-link
+  detection (Figure 2);
+* :mod:`repro.resilience.variants` — diverse software-variant assignment
+  (Newell et al., DSN'13) maximizing connectivity when one variant is
+  compromised;
+* :mod:`repro.resilience.recovery` — proactive recovery: periodically
+  restore each node from a clean state with a fresh variant.
+"""
+
+from repro.resilience.bgp import BgpHijack
+from repro.resilience.ddos import RotatingLinkAttack
+from repro.resilience.recovery import ProactiveRecovery
+from repro.resilience.underlay import Underlay
+from repro.resilience.variants import (
+    assign_variants,
+    connectivity_under_variant_failure,
+)
+
+__all__ = [
+    "Underlay",
+    "BgpHijack",
+    "RotatingLinkAttack",
+    "ProactiveRecovery",
+    "assign_variants",
+    "connectivity_under_variant_failure",
+]

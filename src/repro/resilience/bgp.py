@@ -1,0 +1,40 @@
+"""BGP hijacking attack model (Section IV-B).
+
+"In the event of a BGP hijacking attack, traffic using Internet routes
+that cross multiple ISPs can be diverted to an attacker-specified
+destination, but traffic that stays within a single ISP is not affected.
+Therefore, overlay links that contract service from the same provider on
+both ends can still pass messages during the attack."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.resilience.underlay import Underlay
+from repro.sim.engine import Simulator
+
+
+class BgpHijack:
+    """A (possibly timed) BGP hijack against the whole underlay."""
+
+    def __init__(self, sim: Simulator, underlay: Underlay):
+        self.sim = sim
+        self.underlay = underlay
+        self.active = False
+
+    def start(self) -> None:
+        """Activate the hijack: only same-ISP combinations pass traffic."""
+        self.active = True
+        self.underlay.set_bgp_hijacked(True)
+
+    def stop(self) -> None:
+        """End the hijack and restore cross-ISP routes."""
+        self.active = False
+        self.underlay.set_bgp_hijacked(False)
+
+    def schedule(self, start_at: float, duration: Optional[float] = None) -> None:
+        """Arm the hijack at an absolute simulated time."""
+        self.sim.schedule_at(start_at, self.start)
+        if duration is not None:
+            self.sim.schedule_at(start_at + duration, self.stop)

@@ -1,0 +1,89 @@
+"""Proactive recovery (Section V-D).
+
+"Proactive recovery periodically takes down each overlay node and
+restores it from a known clean state, removing potentially undetected
+compromises.  Moreover, each time an overlay node is proactively
+recovered, it is instantiated with a new software variant."
+
+:class:`ProactiveRecovery` drives the overlay: in a staggered round-robin
+it crashes one node, waits out the reinstall downtime, then recovers it
+with a fresh variant from the :class:`~repro.resilience.variants.VariantPool`.
+Recovery also clears any installed Byzantine behaviour — a recovered node
+is honest until compromised again, which is how the network "remains
+correct and available over a long lifetime".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.byzantine.behaviors import HonestBehavior
+from repro.errors import ConfigurationError
+from repro.overlay.network import OverlayNetwork
+from repro.resilience.variants import VariantPool
+from repro.topology.graph import NodeId
+
+
+class ProactiveRecovery:
+    """Staggered periodic take-down/restore of every overlay node."""
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        period: float,
+        downtime: float,
+        variant_pool: Optional[VariantPool] = None,
+        initial_variants: Optional[Dict[NodeId, int]] = None,
+    ):
+        if downtime <= 0 or period <= 0:
+            raise ConfigurationError("period and downtime must be positive")
+        nodes = len(network.nodes)
+        if downtime * nodes >= period:
+            raise ConfigurationError(
+                "period too short: all nodes would overlap in downtime "
+                f"(need period > downtime * {nodes})"
+            )
+        self.network = network
+        self.period = period
+        self.downtime = downtime
+        self.pool = variant_pool or VariantPool(families=3)
+        self.current_variant: Dict[NodeId, Tuple[int, int]] = {}
+        self._order: List[NodeId] = sorted(network.nodes, key=str)
+        for node_id in self._order:
+            family = (initial_variants or {}).get(node_id, 0)
+            self.current_variant[node_id] = self.pool.fresh(family)
+        self._index = 0
+        self.recoveries_completed = 0
+        self.compromises_cleaned = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin the staggered recovery schedule."""
+        self._running = True
+        self.network.sim.schedule(self.period / len(self._order), self._take_down_next)
+
+    def stop(self) -> None:
+        """Halt the recovery schedule (an in-flight restore still completes)."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _take_down_next(self) -> None:
+        if not self._running:
+            return
+        node_id = self._order[self._index % len(self._order)]
+        self._index += 1
+        node = self.network.node(node_id)
+        if not isinstance(node.behavior, HonestBehavior):
+            self.compromises_cleaned += 1
+        self.network.crash(node_id)
+        self.network.sim.schedule(self.downtime, self._restore, node_id)
+        self.network.sim.schedule(self.period / len(self._order), self._take_down_next)
+
+    def _restore(self, node_id: NodeId) -> None:
+        node = self.network.node(node_id)
+        # Restored from a clean state with a never-used variant build.
+        family, _ = self.current_variant[node_id]
+        self.current_variant[node_id] = self.pool.fresh(family + 1)
+        node.behavior = HonestBehavior()
+        self.network.recover(node_id)
+        self.recoveries_completed += 1

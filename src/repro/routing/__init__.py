@@ -1,0 +1,21 @@
+"""Intrusion-tolerant link-state routing.
+
+Nodes monitor their own links, raise and lower weights as problems arise
+and resolve, and flood signed routing updates.  Every node validates
+updates against the administrator-signed MTMW before applying them
+(:mod:`repro.routing.validation`), which defeats black-hole and wormhole
+attacks, and keeps a routing view from which sources compute shortest
+paths and K node-disjoint paths (:mod:`repro.routing.state`).
+"""
+
+from repro.routing.link_state import LinkStateUpdate
+from repro.routing.state import FAILED_WEIGHT, RoutingState
+from repro.routing.validation import UpdateResult, validate_update
+
+__all__ = [
+    "LinkStateUpdate",
+    "RoutingState",
+    "FAILED_WEIGHT",
+    "UpdateResult",
+    "validate_update",
+]

@@ -1,0 +1,96 @@
+"""Signed link-state routing updates.
+
+Section V-A: "Overlay nodes monitor the links with their neighbors, raise
+and lower link weights when problems arise and resolve respectively, and
+disseminate signed routing updates.  A node is not allowed to change the
+weights of non-neighboring links or decrease the weight of any link below
+its minimal allowed weight.  If a node attempts such an action, it is
+detected, that node is considered compromised, and that update is
+ignored."
+
+Updates carry a per-issuer monotonically increasing sequence number and
+are applied on an overtaken-by-events basis (only the newest update from
+each issuer about each link matters), and correct nodes rate-limit the
+updates they accept from each issuer to bound the impact of spurious
+updates from compromised nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.crypto.pki import Pki
+from repro.topology.graph import NodeId
+
+#: Wire size of a link-state update (endpoint ids, weight, seqno, sig).
+UPDATE_WIRE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class LinkStateUpdate:
+    """A signed claim by ``issuer`` that its link (a, b) has ``weight``.
+
+    ``seqno`` orders updates from the same issuer (overtaken-by-events);
+    the signature covers every semantic field.
+    """
+
+    issuer: NodeId
+    edge_a: NodeId
+    edge_b: NodeId
+    weight: float
+    seqno: int
+    signature: Any = None
+
+    def signed_fields(self) -> Tuple[Any, ...]:
+        """Canonical tuple of fields covered by the issuer signature."""
+        return (
+            "link-state",
+            str(self.issuer),
+            str(self.edge_a),
+            str(self.edge_b),
+            self.weight,
+            self.seqno,
+        )
+
+    @classmethod
+    def create(
+        cls,
+        pki: Pki,
+        issuer: NodeId,
+        edge_a: NodeId,
+        edge_b: NodeId,
+        weight: float,
+        seqno: int,
+    ) -> "LinkStateUpdate":
+        unsigned = cls(issuer, edge_a, edge_b, weight, seqno)
+        signature = pki.identity(issuer).sign(unsigned.signed_fields())
+        return cls(issuer, edge_a, edge_b, weight, seqno, signature)
+
+    def verify(self, pki: Pki) -> bool:
+        """Check the issuer signature against the PKI."""
+        return pki.verify(self.issuer, self.signed_fields(), self.signature)
+
+
+class UpdateRateLimiter:
+    """Token bucket limiting accepted routing updates per issuer.
+
+    "We use rate-limiting and overtaken-by-event techniques to limit the
+    impact of spurious routing updates from compromised nodes."
+    """
+
+    def __init__(self, rate_per_second: float, burst: int):
+        self.rate = rate_per_second
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = 0.0
+
+    def allow(self, now: float) -> bool:
+        """Consume a token at time ``now``; False when rate-limited."""
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False

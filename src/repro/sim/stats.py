@@ -1,0 +1,207 @@
+"""Measurement primitives used by experiments and benchmarks.
+
+Every figure in the paper's evaluation is a time series (goodput over time,
+latency over time, per-priority message counts) or an aggregate (average
+hops, maximum goodput).  This module provides small, allocation-light
+recorders that the overlay and the benchmark harness share:
+
+* :class:`Counter` — monotonically increasing named counters;
+* :class:`GoodputMeter` — bucketizes delivered bytes into fixed intervals
+  and reports Mbps series (Figures 4, 5, 6a, 9);
+* :class:`LatencyRecorder` — per-delivery latencies with summary statistics
+  (Figure 6b);
+* :class:`TimeSeries` — generic (time, value) samples;
+* :class:`StatsRegistry` — a per-simulation namespace for all of the above.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment the counter by ``amount``."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeSeries:
+    """An append-only sequence of (time, value) samples."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one (time, value) sample."""
+        self.samples.append((time, value))
+
+    def values(self) -> List[float]:
+        """The recorded values, in order."""
+        return [v for _, v in self.samples]
+
+    def times(self) -> List[float]:
+        """The sample times, in order."""
+        return [t for t, _ in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class GoodputMeter:
+    """Bucketizes delivered payload bytes into fixed-width time intervals.
+
+    ``series()`` returns (bucket_start_time, mbps) pairs — the exact shape
+    plotted in Figures 4–6 and 9.
+    """
+
+    def __init__(self, sim: Simulator, interval: float = 1.0, name: str = "goodput"):
+        self._sim = sim
+        self.interval = interval
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+        self.total_bytes = 0
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+
+    def record(self, size_bytes: int) -> None:
+        """Record a delivery of ``size_bytes`` at the current simulated time."""
+        now = self._sim.now
+        if self.first_time is None:
+            self.first_time = now
+        self.last_time = now
+        bucket = int(now / self.interval)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + size_bytes
+        self.total_bytes += size_bytes
+
+    def series(self, start: float = 0.0, end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Mbps per interval between ``start`` and ``end`` (defaults to now)."""
+        if end is None:
+            end = self._sim.now
+        first = int(start / self.interval)
+        last = int(math.ceil(end / self.interval))
+        out: List[Tuple[float, float]] = []
+        for bucket in range(first, last):
+            size = self._buckets.get(bucket, 0)
+            mbps = (size * 8.0) / (self.interval * 1e6)
+            out.append((bucket * self.interval, mbps))
+        return out
+
+    def average_mbps(self, start: float, end: float) -> float:
+        """Average goodput in Mbps over the window [start, end)."""
+        if end <= start:
+            return 0.0
+        total = 0
+        first = int(start / self.interval)
+        last = int(math.ceil(end / self.interval))
+        for bucket in range(first, last):
+            total += self._buckets.get(bucket, 0)
+        return (total * 8.0) / ((end - start) * 1e6)
+
+
+class LatencyRecorder:
+    """Records per-delivery latencies and reports summary statistics."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []  # (delivery_time, latency)
+
+    def record(self, delivery_time: float, latency: float) -> None:
+        """Record one delivery latency observed at ``delivery_time``."""
+        self.samples.append((delivery_time, latency))
+
+    def latencies(self) -> List[float]:
+        """All recorded latencies, in delivery order."""
+        return [lat for _, lat in self.samples]
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Mean latency (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(lat for _, lat in self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile latency (p in [0, 100])."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(lat for _, lat in self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def maximum(self) -> float:
+        """Largest recorded latency (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return max(lat for _, lat in self.samples)
+
+
+class StatsRegistry:
+    """A per-simulation namespace of counters, meters, and series."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._counters: Dict[str, Counter] = {}
+        self._meters: Dict[str, GoodputMeter] = {}
+        self._latencies: Dict[str, LatencyRecorder] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def goodput(self, name: str, interval: float = 1.0) -> GoodputMeter:
+        """The named goodput meter, created on first use."""
+        meter = self._meters.get(name)
+        if meter is None:
+            meter = GoodputMeter(self._sim, interval=interval, name=name)
+            self._meters[name] = meter
+        return meter
+
+    def latency(self, name: str) -> LatencyRecorder:
+        """The named latency recorder, created on first use."""
+        recorder = self._latencies.get(name)
+        if recorder is None:
+            recorder = LatencyRecorder(name)
+            self._latencies[name] = recorder
+        return recorder
+
+    def series(self, name: str) -> TimeSeries:
+        """The named time series, created on first use."""
+        ts = self._series.get(name)
+        if ts is None:
+            ts = TimeSeries(name)
+            self._series[name] = ts
+        return ts
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of all counter values."""
+        return {name: c.value for name, c in self._counters.items()}

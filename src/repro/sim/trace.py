@@ -1,0 +1,164 @@
+"""Protocol event tracing.
+
+A :class:`Tracer` attaches to a built :class:`~repro.overlay.network.OverlayNetwork`
+and records a structured, queryable timeline of protocol events —
+injections, deliveries, routing-update outcomes, crashes/recoveries —
+without touching the protocol code (it chains the public hooks).  Useful
+when debugging why a flow stalled or what an attack actually did.
+
+Example::
+
+    tracer = Tracer.attach(net)
+    ... run experiment ...
+    for event in tracer.query(category="deliver", node=9):
+        print(event)
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.messaging.message import Message
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time: float
+    node: Any
+    category: str   # "inject" | "deliver" | "routing" | "crash" | "recover"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.4f}] {self.node!s:>4} {self.category:<8} {self.detail}"
+
+
+class Tracer:
+    """Chained-hook event recorder for a whole overlay network."""
+
+    def __init__(self, max_events: int = 100_000):
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, network, max_events: int = 100_000) -> "Tracer":
+        """Attach to every node of ``network`` (idempotent per network)."""
+        tracer = cls(max_events=max_events)
+        sim = network.sim
+        for node_id, node in network.nodes.items():
+            tracer._chain_deliver(sim, node_id, node)
+            tracer._wrap_sends(sim, node_id, node)
+            tracer._wrap_crash(sim, node_id, node)
+            tracer._wrap_routing(sim, node_id, node)
+        return tracer
+
+    def record(self, time: float, node: Any, category: str, detail: str) -> None:
+        """Append one event (dropped silently past ``max_events``)."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, node, category, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        category: Optional[str] = None,
+        node: Any = None,
+        since: float = 0.0,
+    ) -> List[TraceEvent]:
+        """Events filtered by category, node, and minimum time."""
+        return [
+            e for e in self.events
+            if (category is None or e.category == category)
+            and (node is None or e.node == node)
+            and e.time >= since
+        ]
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts per category."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def dump(self, limit: int = 50) -> str:
+        """Human-readable listing of the first ``limit`` events."""
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Hook wiring
+    # ------------------------------------------------------------------
+    def _chain_deliver(self, sim, node_id, node) -> None:
+        previous = node.on_deliver
+
+        def hooked(message: Message) -> None:
+            self.record(
+                sim.now, node_id, "deliver",
+                f"{message.semantics.value} {message.source}->{message.dest} "
+                f"#{message.seq} ({message.size_bytes} B)",
+            )
+            if previous is not None:
+                previous(message)
+
+        node.on_deliver = hooked
+
+    def _wrap_sends(self, sim, node_id, node) -> None:
+        original_priority = node.send_priority
+        original_reliable = node.send_reliable
+
+        def send_priority(*args, **kwargs):
+            message = original_priority(*args, **kwargs)
+            self.record(
+                sim.now, node_id, "inject",
+                f"priority ->{message.dest} #{message.seq} prio={message.priority}",
+            )
+            return message
+
+        def send_reliable(dest, *args, **kwargs):
+            accepted = original_reliable(dest, *args, **kwargs)
+            if accepted:
+                self.record(sim.now, node_id, "inject", f"reliable ->{dest}")
+            return accepted
+
+        node.send_priority = send_priority
+        node.send_reliable = send_reliable
+
+    def _wrap_crash(self, sim, node_id, node) -> None:
+        original_crash = node.crash
+        original_recover = node.recover
+
+        def crash():
+            self.record(sim.now, node_id, "crash", "node crashed")
+            original_crash()
+
+        def recover():
+            self.record(sim.now, node_id, "recover", "node recovered")
+            original_recover()
+
+        node.crash = crash
+        node.recover = recover
+
+    def _wrap_routing(self, sim, node_id, node) -> None:
+        routing = node.routing
+        original = routing.apply_update
+
+        def apply_update(update, now=0.0):
+            result = original(update, now=now)
+            self.record(
+                sim.now, node_id, "routing",
+                f"{result.value}: {update.issuer} says "
+                f"({update.edge_a},{update.edge_b})={update.weight:.4f}",
+            )
+            return result
+
+        routing.apply_update = apply_update

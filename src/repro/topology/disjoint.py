@@ -1,0 +1,229 @@
+"""Minimum-cost K node-disjoint paths.
+
+Section V-B1: "each message is sent across the network K times, via K
+distinct paths, such that no two paths share any overlay nodes, other than
+the source and destination [Suurballe 1974; Sidhu et al. 1991]".
+
+We compute a *minimum total weight* set of K node-disjoint paths using the
+classic reduction: split every intermediate node ``v`` into ``v_in`` and
+``v_out`` joined by a unit-capacity zero-cost arc, turn each undirected
+edge into two unit-capacity arcs of cost equal to its weight, and push K
+units of min-cost flow from source to destination with the successive
+shortest path algorithm (Dijkstra on Johnson-reduced costs, i.e. the
+Suurballe/Bhandari technique generalized to K paths).
+
+The same machinery with costs ignored gives the node connectivity between
+a pair (``max_node_disjoint_paths``), which the resilient-architecture
+code uses to check the "at least three node-disjoint paths between any two
+nodes" property of the deployment topology.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.graph import NodeId, Topology
+
+
+class DisjointPathError(TopologyError):
+    """Fewer than the requested number of node-disjoint paths exist."""
+
+
+class _Arc:
+    __slots__ = ("head", "capacity", "cost", "flow", "partner")
+
+    def __init__(self, head: int, capacity: int, cost: float):
+        self.head = head
+        self.capacity = capacity
+        self.cost = cost
+        self.flow = 0
+        self.partner: Optional["_Arc"] = None
+
+    @property
+    def residual(self) -> int:
+        return self.capacity - self.flow
+
+
+class _SplitGraph:
+    """The node-split directed flow network for one (source, dest) pair."""
+
+    def __init__(self, topo: Topology, source: NodeId, dest: NodeId):
+        if not topo.has_node(source):
+            raise TopologyError(f"unknown source {source!r}")
+        if not topo.has_node(dest):
+            raise TopologyError(f"unknown destination {dest!r}")
+        if source == dest:
+            raise TopologyError("source and destination must differ")
+        self.topo = topo
+        self.source = source
+        self.dest = dest
+        # Vertex numbering: v_in = 2i, v_out = 2i + 1.
+        self._index: Dict[NodeId, int] = {}
+        nodes = sorted(topo.nodes, key=str)
+        for i, node in enumerate(nodes):
+            self._index[node] = i
+        self._nodes = nodes
+        self.n_vertices = 2 * len(nodes)
+        self.adjacency: List[List[_Arc]] = [[] for _ in range(self.n_vertices)]
+        for node in nodes:
+            capacity = len(nodes) if node in (source, dest) else 1
+            self._add_arc(self.v_in(node), self.v_out(node), capacity, 0.0)
+        for a, b in topo.edges():
+            w = topo.weight(a, b)
+            self._add_arc(self.v_out(a), self.v_in(b), 1, w)
+            self._add_arc(self.v_out(b), self.v_in(a), 1, w)
+        self.start = self.v_out(source)
+        self.end = self.v_in(dest)
+
+    def v_in(self, node: NodeId) -> int:
+        return 2 * self._index[node]
+
+    def v_out(self, node: NodeId) -> int:
+        return 2 * self._index[node] + 1
+
+    def node_of(self, vertex: int) -> NodeId:
+        return self._nodes[vertex // 2]
+
+    def _add_arc(self, tail: int, head: int, capacity: int, cost: float) -> None:
+        forward = _Arc(head, capacity, cost)
+        backward = _Arc(tail, 0, -cost)
+        forward.partner = backward
+        backward.partner = forward
+        self.adjacency[tail].append(forward)
+        self.adjacency[head].append(backward)
+
+    # ------------------------------------------------------------------
+    # Successive shortest paths with Johnson potentials
+    # ------------------------------------------------------------------
+    def push_shortest_path(self, potentials: List[float]) -> bool:
+        """Augment one unit along the min-reduced-cost path.
+
+        Returns False when the destination is unreachable in the residual
+        graph.  ``potentials`` is updated in place for the next call.
+        """
+        inf = float("inf")
+        dist = [inf] * self.n_vertices
+        parent_arc: List[Optional[_Arc]] = [None] * self.n_vertices
+        dist[self.start] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, self.start)]
+        visited = [False] * self.n_vertices
+        while heap:
+            d, u = heapq.heappop(heap)
+            if visited[u]:
+                continue
+            visited[u] = True
+            for arc in self.adjacency[u]:
+                if arc.residual <= 0:
+                    continue
+                v = arc.head
+                reduced = arc.cost + potentials[u] - potentials[v]
+                # Reduced costs are non-negative by induction; guard against
+                # float noise.
+                if reduced < 0:
+                    reduced = 0.0
+                nd = d + reduced
+                if nd < dist[v] - 1e-15:
+                    dist[v] = nd
+                    parent_arc[v] = arc
+                    heapq.heappush(heap, (nd, v))
+        if not visited[self.end]:
+            return False
+        for v in range(self.n_vertices):
+            if dist[v] < inf:
+                potentials[v] += dist[v]
+        # Augment one unit back along the path.
+        v = self.end
+        while v != self.start:
+            arc = parent_arc[v]
+            assert arc is not None
+            arc.flow += 1
+            arc.partner.flow -= 1
+            v = arc.partner.head
+        return True
+
+    def extract_paths(self) -> List[List[NodeId]]:
+        """Decompose the integral flow into node paths source → dest."""
+        # Successor map: from each v_out, which v_in arcs carry flow.
+        outgoing: Dict[int, List[_Arc]] = {}
+        for tail in range(self.n_vertices):
+            for arc in self.adjacency[tail]:
+                if arc.flow > 0 and arc.cost >= 0 and tail % 2 == 1 and arc.head % 2 == 0:
+                    outgoing.setdefault(tail, []).append(arc)
+        paths: List[List[NodeId]] = []
+        while outgoing.get(self.start):
+            path = [self.source]
+            vertex = self.start
+            while True:
+                arcs = outgoing.get(vertex)
+                if not arcs:
+                    raise TopologyError("flow decomposition failed")  # pragma: no cover
+                arc = arcs.pop()
+                arc.flow -= 1
+                node = self.node_of(arc.head)
+                path.append(node)
+                if node == self.dest:
+                    break
+                vertex = self.v_out(node)
+            paths.append(path)
+        return paths
+
+
+def k_node_disjoint_paths(
+    topo: Topology, source: NodeId, dest: NodeId, k: int
+) -> List[List[NodeId]]:
+    """Return K node-disjoint paths of minimum total weight.
+
+    Paths share only the source and destination.  Raises
+    :class:`DisjointPathError` when fewer than ``k`` node-disjoint paths
+    exist (after which the caller typically falls back to a smaller K or
+    to constrained flooding).  The returned list is sorted by path weight,
+    shortest first.
+    """
+    if k < 1:
+        raise TopologyError(f"k must be >= 1 (got {k})")
+    graph = _SplitGraph(topo, source, dest)
+    potentials = [0.0] * graph.n_vertices
+    for i in range(k):
+        if not graph.push_shortest_path(potentials):
+            raise DisjointPathError(
+                f"only {i} node-disjoint path(s) exist between "
+                f"{source!r} and {dest!r} (requested {k})"
+            )
+    paths = graph.extract_paths()
+    paths.sort(key=lambda p: (topo.path_weight(p), len(p), [str(n) for n in p]))
+    return paths
+
+
+def max_node_disjoint_paths(topo: Topology, source: NodeId, dest: NodeId) -> int:
+    """The node connectivity between ``source`` and ``dest``.
+
+    Neighbors are still limited by the number of internally disjoint
+    routes, except the direct edge which always counts as one path.
+    """
+    graph = _SplitGraph(topo, source, dest)
+    potentials = [0.0] * graph.n_vertices
+    count = 0
+    while graph.push_shortest_path(potentials):
+        count += 1
+    return count
+
+
+def best_effort_disjoint_paths(
+    topo: Topology, source: NodeId, dest: NodeId, k: int
+) -> List[List[NodeId]]:
+    """Like :func:`k_node_disjoint_paths` but degrades gracefully.
+
+    Returns as many node-disjoint paths as exist, up to ``k``.  Used by
+    sources when a partially failed topology cannot support the requested
+    redundancy but the message should still be sent.
+    """
+    graph = _SplitGraph(topo, source, dest)
+    potentials = [0.0] * graph.n_vertices
+    pushed = 0
+    while pushed < k and graph.push_shortest_path(potentials):
+        pushed += 1
+    paths = graph.extract_paths()
+    paths.sort(key=lambda p: (topo.path_weight(p), len(p), [str(n) for n in p]))
+    return paths

@@ -1,0 +1,103 @@
+"""Synthetic topology generators for tests and ablation benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+
+def line(n: int, weight: float = 0.010) -> Topology:
+    """A chain 1 - 2 - ... - n (no redundancy; worst case for resilience)."""
+    if n < 2:
+        raise TopologyError("line needs at least 2 nodes")
+    topo = Topology()
+    for i in range(1, n):
+        topo.add_edge(i, i + 1, weight)
+    return topo
+
+
+def ring(n: int, weight: float = 0.010) -> Topology:
+    """A cycle of n nodes (2-connected)."""
+    if n < 3:
+        raise TopologyError("ring needs at least 3 nodes")
+    topo = Topology()
+    for i in range(1, n):
+        topo.add_edge(i, i + 1, weight)
+    topo.add_edge(n, 1, weight)
+    return topo
+
+
+def clique(n: int, weight: float = 0.010) -> Topology:
+    """The complete graph on n nodes ((n-1)-connected)."""
+    if n < 2:
+        raise TopologyError("clique needs at least 2 nodes")
+    topo = Topology()
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            topo.add_edge(i, j, weight)
+    return topo
+
+
+def chordal_ring(n: int, chords: int = 2, weight: float = 0.010) -> Topology:
+    """A ring plus ``chords`` extra chord offsets; connectivity grows with
+    chords.  ``chords=2`` gives a 4-regular, 4-connected graph for even n."""
+    topo = ring(n, weight)
+    for offset in range(2, 2 + chords):
+        for i in range(1, n + 1):
+            j = ((i - 1 + offset) % n) + 1
+            if not topo.has_edge(i, j) and i != j:
+                topo.add_edge(i, j, weight)
+    return topo
+
+
+def random_connected(
+    n: int,
+    extra_edges: int,
+    rng: Optional[random.Random] = None,
+    min_weight: float = 0.005,
+    max_weight: float = 0.050,
+) -> Topology:
+    """A random connected graph: a random spanning tree plus extra edges."""
+    rng = rng or random.Random(0)
+    if n < 2:
+        raise TopologyError("need at least 2 nodes")
+    topo = Topology()
+    nodes: List[int] = list(range(1, n + 1))
+    shuffled = nodes[:]
+    rng.shuffle(shuffled)
+    for i in range(1, n):
+        a = shuffled[i]
+        b = shuffled[rng.randrange(i)]
+        topo.add_edge(a, b, rng.uniform(min_weight, max_weight))
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 100 * extra_edges:
+        attempts += 1
+        a, b = rng.sample(nodes, 2)
+        if not topo.has_edge(a, b):
+            topo.add_edge(a, b, rng.uniform(min_weight, max_weight))
+            added += 1
+    return topo
+
+
+def random_k_connected(
+    n: int,
+    k: int,
+    rng: Optional[random.Random] = None,
+    max_attempts: int = 200,
+) -> Topology:
+    """A random graph whose minimum pair connectivity is at least ``k``."""
+    from repro.topology.analysis import minimum_pair_connectivity
+
+    rng = rng or random.Random(0)
+    extra = max(n, n * k // 2)
+    for _ in range(max_attempts):
+        candidate = random_connected(n, extra, rng=rng)
+        if all(candidate.degree(v) >= k for v in candidate.nodes):
+            if minimum_pair_connectivity(candidate) >= k:
+                return candidate
+        extra += 1
+    raise TopologyError(f"failed to generate a {k}-connected graph on {n} nodes")

@@ -1,0 +1,214 @@
+"""Traffic generators.
+
+All generators are simulation-driven (timers in simulated time) and
+deterministic given the network's seed.  Rates are offered loads; the
+overlay's schedulers decide what is actually carried.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.messaging.message import Semantics
+from repro.overlay.config import DisseminationMethod
+from repro.overlay.network import OverlayNetwork
+from repro.topology.graph import NodeId
+
+
+class CbrTraffic:
+    """Constant-bit-rate traffic on one flow.
+
+    For PRIORITY semantics each tick injects messages unconditionally
+    (the network drops what it must); for RELIABLE, back-pressure pauses
+    the generator and the backlog is retried on later ticks.
+    """
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        source: NodeId,
+        dest: NodeId,
+        rate_bps: float,
+        size_bytes: int = 1186,
+        priority: Optional[int] = None,
+        semantics: Semantics = Semantics.PRIORITY,
+        method: Optional[DisseminationMethod] = None,
+        priority_cycle: Optional[list] = None,
+        tick_interval: float = 0.02,
+    ):
+        if rate_bps <= 0:
+            raise ConfigurationError("rate_bps must be positive")
+        self.network = network
+        self.source = source
+        self.dest = dest
+        self.rate_bps = rate_bps
+        self.size_bytes = size_bytes
+        self.priority = priority
+        self.semantics = semantics
+        self.method = method or DisseminationMethod.flooding()
+        #: When given, priorities are assigned round-robin from this list
+        #: ("evenly distributes its messages across ten priority levels").
+        self.priority_cycle = priority_cycle
+        self.tick_interval = tick_interval
+        self.running = False
+        self.messages_sent = 0
+        self.backpressured = 0
+        self._credit = 0.0
+        self._last = 0.0
+
+    def start(self) -> None:
+        """Begin offering load now."""
+        self.running = True
+        self._last = self.network.sim.now
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop offering load."""
+        self.running = False
+
+    def schedule(self, start_at: float, stop_at: Optional[float] = None) -> None:
+        """Arm start (and optionally stop) at absolute simulated times."""
+        self.network.sim.schedule_at(start_at, self.start)
+        if stop_at is not None:
+            self.network.sim.schedule_at(stop_at, self.stop)
+
+    def _next_priority(self) -> Optional[int]:
+        if self.priority_cycle:
+            return self.priority_cycle[self.messages_sent % len(self.priority_cycle)]
+        return self.priority
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        sim = self.network.sim
+        node = self.network.node(self.source)
+        self._credit += (sim.now - self._last) * self.rate_bps / 8.0
+        self._last = sim.now
+        if self.semantics is Semantics.PRIORITY:
+            # Offered load is not buffered: undelivered credit beyond a
+            # small burst is the application's loss, like a UDP sender.
+            self._credit = min(self._credit, self.size_bytes * 8.0)
+        while self._credit >= self.size_bytes and not node.crashed:
+            try:
+                if self.semantics is Semantics.PRIORITY:
+                    node.send_priority(
+                        self.dest,
+                        size_bytes=self.size_bytes,
+                        priority=self._next_priority(),
+                        method=self.method,
+                    )
+                else:
+                    if not node.send_reliable(
+                        self.dest, size_bytes=self.size_bytes, method=self.method
+                    ):
+                        self.backpressured += 1
+                        break
+            except ProtocolError:
+                # Transiently unroutable (e.g. link monitoring flapped
+                # every path away); retry on the next tick.
+                self.backpressured += 1
+                break
+            self.messages_sent += 1
+            self._credit -= self.size_bytes
+        sim.schedule(self.tick_interval, self._tick)
+
+
+class PoissonTraffic:
+    """Messages with exponential inter-arrival times (bursty monitoring)."""
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        source: NodeId,
+        dest: NodeId,
+        rate_msgs_per_sec: float,
+        size_bytes: int = 1000,
+        priority: Optional[int] = None,
+        semantics: Semantics = Semantics.PRIORITY,
+        method: Optional[DisseminationMethod] = None,
+    ):
+        if rate_msgs_per_sec <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.network = network
+        self.source = source
+        self.dest = dest
+        self.rate = rate_msgs_per_sec
+        self.size_bytes = size_bytes
+        self.priority = priority
+        self.semantics = semantics
+        self.method = method or DisseminationMethod.flooding()
+        self.running = False
+        self.messages_sent = 0
+        self._rng = network.sim.rngs.stream(f"poisson:{source}->{dest}")
+
+    def start(self) -> None:
+        """Begin generating Poisson arrivals."""
+        self.running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop generating arrivals."""
+        self.running = False
+
+    def _arm(self) -> None:
+        self.network.sim.schedule(self._rng.expovariate(self.rate), self._fire)
+
+    def _fire(self) -> None:
+        if not self.running:
+            return
+        node = self.network.node(self.source)
+        if not node.crashed:
+            if self.semantics is Semantics.PRIORITY:
+                node.send_priority(
+                    self.dest, size_bytes=self.size_bytes,
+                    priority=self.priority, method=self.method,
+                )
+                self.messages_sent += 1
+            else:
+                if node.send_reliable(
+                    self.dest, size_bytes=self.size_bytes, method=self.method
+                ):
+                    self.messages_sent += 1
+        self._arm()
+
+
+class ReliableBacklogTraffic:
+    """Send exactly ``count`` reliable messages as fast as back-pressure
+    allows (a file-transfer-like workload)."""
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        source: NodeId,
+        dest: NodeId,
+        count: int,
+        size_bytes: int = 1186,
+        method: Optional[DisseminationMethod] = None,
+        retry_interval: float = 0.02,
+    ):
+        self.network = network
+        self.source = source
+        self.dest = dest
+        self.count = count
+        self.size_bytes = size_bytes
+        self.method = method or DisseminationMethod.flooding()
+        self.retry_interval = retry_interval
+        self.sent = 0
+
+    def start(self) -> None:
+        """Begin draining the backlog as back-pressure allows."""
+        self._tick()
+
+    def _tick(self) -> None:
+        node = self.network.node(self.source)
+        while self.sent < self.count and not node.crashed and node.send_reliable(
+            self.dest, size_bytes=self.size_bytes, method=self.method
+        ):
+            self.sent += 1
+        if self.sent < self.count:
+            self.network.sim.schedule(self.retry_interval, self._tick)
+
+    @property
+    def done(self) -> bool:
+        return self.sent >= self.count

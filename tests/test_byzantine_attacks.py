@@ -1,0 +1,156 @@
+"""Tests for the canned attack drivers (Section VI-B style)."""
+
+import pytest
+
+from repro.byzantine.attacks import (
+    CrashEvent,
+    CrashSchedule,
+    E2eAckSpamAttack,
+    PrioritySpamAttack,
+    ReplayAttack,
+    RoutingWeightAttack,
+    SaturationFlow,
+)
+from repro.errors import ConfigurationError
+from repro.messaging.message import Semantics
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.overlay.network import OverlayNetwork
+from repro.routing.validation import UpdateResult
+from repro.topology.generators import clique, ring
+from repro.workloads.traffic import ReliableBacklogTraffic
+
+PACED = OverlayConfig(link_bandwidth_bps=1e6)
+
+
+class TestSaturationFlow:
+    def test_reaches_offered_rate_when_uncontended(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        flow = SaturationFlow(net, 1, 3, rate_bps=2e5, size_bytes=882)
+        flow.start()
+        net.run(10.0)
+        goodput = net.flow_goodput(1, 3).average_mbps(2.0, 10.0)
+        assert goodput == pytest.approx(0.2 * 882 / 882, rel=0.2)
+
+    def test_stop_halts_sending(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        flow = SaturationFlow(net, 1, 3, rate_bps=2e5)
+        flow.schedule(0.0, stop_at=1.0)
+        net.run(5.0)
+        sent_at_stop = flow.messages_sent
+        net.run(5.0)
+        assert flow.messages_sent == sent_at_stop
+
+    def test_reliable_saturation_respects_backpressure(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        flow = SaturationFlow(net, 1, 3, rate_bps=5e6, semantics=Semantics.RELIABLE)
+        flow.start()
+        net.run(5.0)
+        assert net.delivered_count(1, 3) > 0
+        # Every accepted message is eventually delivered (none lost).
+        net.run(20.0)
+        assert flow.messages_sent >= net.delivered_count(1, 3) > 100
+
+    def test_invalid_rate_rejected(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        with pytest.raises(ConfigurationError):
+            SaturationFlow(net, 1, 3, rate_bps=0.0)
+
+
+class TestPrioritySpam:
+    def test_spam_cannot_starve_honest_source(self):
+        """Figure 7's core claim at unit scale."""
+        net = OverlayNetwork.build(ring(4), PACED, seed=3)
+        spam = PrioritySpamAttack(net, 2, 4, rate_bps=2e6)
+        spam.start()
+        honest = SaturationFlow(net, 1, 3, rate_bps=1.5e5, priority=1)
+        honest.start()
+        net.run(10.0)
+        honest_goodput = net.flow_goodput(1, 3).average_mbps(3.0, 10.0)
+        # Honest demand (0.15 Mbps) is below fair share (0.5 Mbps): kept.
+        assert honest_goodput > 0.12
+
+
+class TestRoutingWeightAttack:
+    def test_attack_detected_and_ignored(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        attack = RoutingWeightAttack(net, attacker=2)
+        updates = attack.launch()
+        net.run(2.0)
+        assert attack.updates_issued == len(updates) == 3
+        # The attacker's MTMW neighbors detect provable misbehaviour and
+        # do not forward the invalid updates any further.
+        for honest in (1, 3):
+            routing = net.node(honest).routing
+            assert 2 in routing.detected_compromised
+            # Weights unchanged: still at the MTMW minimum.
+            assert routing.effective_weight(1, 2) == net.mtmw.min_weight(1, 2)
+        assert 2 not in net.node(4).routing.detected_compromised
+
+    def test_below_min_and_not_endpoint_both_counted(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        RoutingWeightAttack(net, attacker=2).launch()
+        net.run(2.0)
+        results = net.node(1).routing.results
+        assert results[UpdateResult.BELOW_MIN_WEIGHT] >= 1
+        assert results[UpdateResult.NOT_ENDPOINT] >= 1
+
+    def test_invalid_updates_not_propagated(self):
+        """Correct nodes ignore (and never flood) provably bad updates."""
+        net = OverlayNetwork.build(ring(4), PACED)
+        RoutingWeightAttack(net, attacker=2).launch()
+        net.run(2.0)
+        results_far = net.node(4).routing.results
+        assert all(count == 0 for count in results_far.values())
+
+
+class TestAckSpam:
+    def test_forged_acks_rejected_and_flow_unharmed(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        victim = ReliableBacklogTraffic(net, 1, 3, count=60)
+        victim.start()
+        spam = E2eAckSpamAttack(net, attacker=2, victim_dest=3, interval=0.05)
+        spam.start()
+        net.run(20.0)
+        spam.stop()
+        net.run(10.0)
+        assert net.delivered_count(1, 3) == 60
+        # Forged acks were rejected at signature verification.
+        assert net.node(1).invalid_messages_rejected > 0
+
+    def test_own_identity_acks_rate_limited(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        spam = E2eAckSpamAttack(net, attacker=2, victim_dest=3, interval=0.01)
+        spam.start()
+        net.run(3.0)
+        spam.stop()
+        # Correct nodes saw many, forwarded few: the attacker's identical
+        # no-progress acks die one hop out.
+        rejected = net.node(1).reliable.acks_rejected
+        assert rejected > 10
+
+
+class TestReplayAttack:
+    def test_replays_do_not_duplicate_deliveries(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        attack = ReplayAttack(net, attacker=2, copies=2)
+        net.compromise(2, attack.capture_behavior())
+        for _ in range(10):
+            net.client(1).send_priority(3)
+        net.run(3.0)
+        replayed = attack.replay_all()
+        net.run(3.0)
+        assert replayed > 0
+        assert net.delivered_count(1, 3) == 10
+
+
+class TestCrashSchedule:
+    def test_scripted_crash_and_recovery(self):
+        net = OverlayNetwork.build(clique(4), PACED)
+        schedule = CrashSchedule(
+            net, [CrashEvent(at=1.0, node=2, recover_at=3.0)]
+        )
+        schedule.arm()
+        net.run(2.0)
+        assert net.node(2).crashed
+        net.run(2.0)
+        assert not net.node(2).crashed

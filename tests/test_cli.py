@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.flows == 5
+        assert args.semantics == "priority"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "12 nodes, 32 links" in out
+        assert "Naive Flooding" in out
+        assert "Tokyo" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "priority 7->9 delivered: 1/1" in out
+        assert "reliable 2->5 delivered: 10/10" in out
+
+    def test_experiment_small(self, capsys):
+        assert main([
+            "experiment", "--flows", "1", "--seconds", "5",
+            "--rate", "0.3", "--semantics", "reliable",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dissemination cost" in out
+        assert "Mbps" in out
+
+    def test_turret_clean(self, capsys):
+        assert main(["turret", "--iterations", "2", "--seconds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out

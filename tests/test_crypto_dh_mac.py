@@ -1,0 +1,89 @@
+"""Unit tests for Diffie-Hellman and HMAC primitives."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.dh import GROUP_PRIME, DiffieHellman
+from repro.crypto.mac import MAC_SIZE, hmac_sha256, truncated_hmac, verify_hmac
+from repro.errors import CryptoError, MacError
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self):
+        alice = DiffieHellman.from_seed(b"alice")
+        bob = DiffieHellman.from_seed(b"bob")
+        assert alice.compute_shared(bob.public) == bob.compute_shared(alice.public)
+
+    def test_shared_secret_is_32_bytes(self):
+        alice = DiffieHellman.from_seed(b"a")
+        bob = DiffieHellman.from_seed(b"b")
+        assert len(alice.compute_shared(bob.public)) == 32
+
+    def test_third_party_derives_different_secret(self):
+        alice = DiffieHellman.from_seed(b"alice")
+        bob = DiffieHellman.from_seed(b"bob")
+        eve = DiffieHellman.from_seed(b"eve")
+        honest = alice.compute_shared(bob.public)
+        assert eve.compute_shared(alice.public) != honest
+        assert eve.compute_shared(bob.public) != honest
+
+    @pytest.mark.parametrize("bad", [0, 1, GROUP_PRIME - 1, GROUP_PRIME, GROUP_PRIME + 5])
+    def test_degenerate_peer_values_rejected(self, bad):
+        alice = DiffieHellman.from_seed(b"alice")
+        with pytest.raises(CryptoError):
+            alice.compute_shared(bad)
+
+    def test_out_of_range_private_rejected(self):
+        with pytest.raises(CryptoError):
+            DiffieHellman(private=0)
+
+    def test_from_seed_deterministic(self):
+        assert DiffieHellman.from_seed(b"s").public == DiffieHellman.from_seed(b"s").public
+
+    def test_random_instances_differ(self):
+        assert DiffieHellman().public != DiffieHellman().public
+
+    def test_encode_public_roundtrips(self):
+        alice = DiffieHellman.from_seed(b"alice")
+        encoded = alice.encode_public()
+        assert int.from_bytes(encoded, "big") == alice.public
+        assert len(encoded) == (GROUP_PRIME.bit_length() + 7) // 8
+
+
+class TestHmac:
+    def test_matches_stdlib(self):
+        key, msg = b"k" * 32, b"payload"
+        assert hmac_sha256(key, msg) == std_hmac.new(key, msg, hashlib.sha256).digest()
+
+    def test_verify_accepts_valid(self):
+        tag = hmac_sha256(b"key", b"msg")
+        verify_hmac(b"key", b"msg", tag)  # no raise
+
+    def test_verify_rejects_tampered_message(self):
+        tag = hmac_sha256(b"key", b"msg")
+        with pytest.raises(MacError):
+            verify_hmac(b"key", b"msG", tag)
+
+    def test_verify_rejects_wrong_key(self):
+        tag = hmac_sha256(b"key", b"msg")
+        with pytest.raises(MacError):
+            verify_hmac(b"yek", b"msg", tag)
+
+    def test_mac_size(self):
+        assert len(hmac_sha256(b"k", b"m")) == MAC_SIZE == 32
+
+    def test_truncated_hmac(self):
+        tag = truncated_hmac(b"k", b"m", size=16)
+        assert len(tag) == 16
+        assert tag == hmac_sha256(b"k", b"m")[:16]
+
+    def test_truncation_below_16_rejected(self):
+        with pytest.raises(MacError):
+            truncated_hmac(b"k", b"m", size=8)
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=128))
+    def test_property_roundtrip(self, key, msg):
+        verify_hmac(key, msg, hmac_sha256(key, msg))

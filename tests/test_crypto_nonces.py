@@ -1,0 +1,106 @@
+"""Unit tests for cumulative nonce chains (opt-ack defense)."""
+
+import os
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.nonces import CumulativeNonceChain, NonceVerifier
+from repro.errors import ProtocolError
+
+
+def exchange(n):
+    """Simulate a sender/receiver pair over n packets; return both sides."""
+    sender = NonceVerifier()
+    receiver = CumulativeNonceChain()
+    nonces = [os.urandom(8) for _ in range(n)]
+    for seq, nonce in enumerate(nonces):
+        sender.register(seq, nonce)
+        receiver.fold(seq, nonce)
+    return sender, receiver
+
+
+class TestHonestExchange:
+    def test_valid_proof_accepted(self):
+        sender, receiver = exchange(5)
+        assert sender.check(4, receiver.proof())
+        assert sender.acked_up_to == 4
+
+    def test_intermediate_proofs_accepted(self):
+        sender = NonceVerifier()
+        receiver = CumulativeNonceChain()
+        for seq in range(10):
+            nonce = os.urandom(8)
+            sender.register(seq, nonce)
+            receiver.fold(seq, nonce)
+            assert sender.check(seq, receiver.proof())
+
+    def test_stale_duplicate_ack_ignored_but_harmless(self):
+        sender, receiver = exchange(3)
+        proof = receiver.proof()
+        assert sender.check(2, proof)
+        assert not sender.check(2, proof)  # duplicate
+        assert sender.acked_up_to == 2
+
+
+class TestOptimisticAckAttack:
+    def test_ack_for_unreceived_data_rejected(self):
+        """A malicious receiver cannot acknowledge data it never saw."""
+        sender = NonceVerifier()
+        for seq in range(5):
+            sender.register(seq, os.urandom(8))
+        # Attacker guesses proofs without the nonces.
+        assert not sender.check(4, os.urandom(16))
+        assert not sender.check(4, b"\x00" * 16)
+        assert sender.acked_up_to == -1
+
+    def test_ack_beyond_sent_data_rejected(self):
+        sender, receiver = exchange(3)
+        assert not sender.check(10, receiver.proof())
+
+    def test_receiver_missing_one_packet_cannot_ack_past_it(self):
+        sender = NonceVerifier()
+        receiver = CumulativeNonceChain()
+        nonces = [os.urandom(8) for _ in range(4)]
+        for seq, nonce in enumerate(nonces):
+            sender.register(seq, nonce)
+        receiver.fold(0, nonces[0])
+        receiver.fold(1, nonces[1])
+        # Receiver never got packet 2; folds a guess for it.
+        receiver.fold(2, os.urandom(8))
+        receiver.fold(3, nonces[3])
+        assert not sender.check(3, receiver.proof())
+
+    def test_proof_depends_on_order(self):
+        a = CumulativeNonceChain()
+        b = CumulativeNonceChain()
+        n0, n1 = os.urandom(8), os.urandom(8)
+        a.fold(0, n0)
+        a.fold(1, n1)
+        b.fold(0, n1)
+        b.fold(1, n0)
+        assert a.proof() != b.proof()
+
+
+class TestStateMachine:
+    def test_out_of_order_fold_rejected(self):
+        chain = CumulativeNonceChain()
+        chain.fold(0, b"x" * 8)
+        with pytest.raises(ProtocolError):
+            chain.fold(2, b"y" * 8)
+
+    def test_out_of_order_register_rejected(self):
+        verifier = NonceVerifier()
+        verifier.register(0, b"x" * 8)
+        with pytest.raises(ProtocolError):
+            verifier.register(5, b"y" * 8)
+
+    def test_memory_reclaimed_after_ack(self):
+        sender, receiver = exchange(100)
+        sender.check(99, receiver.proof())
+        assert len(sender._expected) == 0
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_property_honest_receiver_always_verifiable(self, n):
+        sender, receiver = exchange(n)
+        assert sender.check(n - 1, receiver.proof())

@@ -1,0 +1,267 @@
+"""Unit tests for the Proof-of-Receipt link."""
+
+import pytest
+
+from repro.crypto.pki import Pki, PkiMode
+from repro.errors import ConfigurationError, ProtocolError
+from repro.link.por import PorConfig, connect_por_pair
+from repro.sim.channel import Channel, ChannelConfig
+from repro.sim.engine import Simulator
+
+
+def make_link(seed=0, latency=0.010, loss=0.0, bandwidth=None, config=None,
+              pki_mode=PkiMode.SIMULATED, handshake=False):
+    sim = Simulator(seed=seed)
+    pki = Pki(mode=pki_mode, seed=seed, rsa_bits=256)
+    pki.register("a")
+    pki.register("b")
+    cfg = ChannelConfig(latency=latency, loss_rate=loss, bandwidth_bps=bandwidth)
+    ab = Channel(sim, cfg, name="a->b")
+    ba = Channel(sim, cfg, name="b->a")
+    end_a, end_b = connect_por_pair(
+        sim, "a", "b", ab, ba, pki, config=config, handshake=handshake
+    )
+    delivered_a, delivered_b = [], []
+    end_a.on_deliver = lambda p, s: delivered_a.append(p)
+    end_b.on_deliver = lambda p, s: delivered_b.append(p)
+    return sim, end_a, end_b, delivered_a, delivered_b
+
+
+class TestReliableInOrderDelivery:
+    def test_simple_delivery(self):
+        sim, a, b, _, delivered_b = make_link()
+        a.send("hello", 100)
+        sim.run(until=1.0)
+        assert delivered_b == ["hello"]
+
+    def test_in_order_burst(self):
+        sim, a, b, _, delivered_b = make_link()
+        for i in range(50):
+            a.send(i, 100)
+        sim.run(until=2.0)
+        assert delivered_b == list(range(50))
+
+    def test_bidirectional(self):
+        sim, a, b, delivered_a, delivered_b = make_link()
+        a.send("to-b", 100)
+        b.send("to-a", 100)
+        sim.run(until=1.0)
+        assert delivered_b == ["to-b"]
+        assert delivered_a == ["to-a"]
+
+    def test_delivery_under_heavy_loss(self):
+        sim, a, b, _, delivered_b = make_link(
+            loss=0.4, config=PorConfig(initial_rto=0.1, min_rto=0.05)
+        )
+        for i in range(100):
+            a.send(i, 100)
+        sim.run(until=60.0)
+        assert delivered_b == list(range(100))
+        assert a.data_retransmitted > 0
+
+    def test_no_duplicate_delivery_under_loss(self):
+        """Lost ACKs cause retransmissions; receiver must dedup."""
+        sim, a, b, _, delivered_b = make_link(
+            loss=0.3, config=PorConfig(initial_rto=0.08, min_rto=0.04)
+        )
+        for i in range(60):
+            a.send(i, 100)
+        sim.run(until=60.0)
+        assert delivered_b == list(range(60))
+        assert b.duplicates_dropped >= 0  # counted, never delivered twice
+
+    def test_window_not_exceeded(self):
+        config = PorConfig(window=4)
+        sim, a, b, _, _ = make_link(config=config)
+        for i in range(4):
+            a.send(i, 100)
+        assert a.in_flight == 4
+        assert not a.can_accept()
+        with pytest.raises(ProtocolError):
+            a.send(99, 100)
+
+    def test_window_reopens_after_ack(self):
+        config = PorConfig(window=2)
+        sim, a, b, _, delivered_b = make_link(config=config)
+        ready = []
+        a.on_ready = lambda: ready.append(sim.now)
+        a.send(0, 100)
+        a.send(1, 100)
+        sim.run(until=1.0)
+        assert len(ready) >= 1
+        assert a.can_accept()
+        a.send(2, 100)
+        sim.run(until=2.0)
+        assert delivered_b == [0, 1, 2]
+
+
+class TestPacing:
+    def test_can_accept_respects_channel_backlog(self):
+        # 100-byte payload + 48 overhead at 8 kbps = 148 ms serialization.
+        config = PorConfig(pacing_slack=0.01)
+        sim, a, b, _, _ = make_link(bandwidth=8000.0, config=config)
+        a.send(0, 100)
+        assert not a.can_accept()
+        assert a.time_until_ready() == pytest.approx(0.148 - 0.01, abs=1e-6)
+
+    def test_time_until_ready_none_when_window_full(self):
+        config = PorConfig(window=1)
+        sim, a, b, _, _ = make_link(config=config)
+        a.send(0, 100)
+        assert a.time_until_ready() is None
+
+    def test_throughput_approaches_link_capacity(self):
+        """A saturating sender should achieve most of the channel rate."""
+        config = PorConfig(window=64, pacing_slack=0.002)
+        sim, a, b, _, _ = make_link(bandwidth=1e6, latency=0.020, config=config)
+        sent = [0]
+        finished = []
+        b.on_deliver = lambda p, s: finished.append(sim.now)
+
+        def pump():
+            while a.can_accept() and sent[0] < 300:
+                a.send(sent[0], 1202)  # 1250 bytes on the wire
+                sent[0] += 1
+            if sent[0] < 300:
+                delay = a.time_until_ready()
+                if delay is not None:
+                    sim.schedule(max(delay, 1e-4), pump)
+
+        a.on_ready = pump
+        pump()
+        sim.run(until=10.0)
+        assert len(finished) == 300
+        # 300 * 1250 B * 8 = 3.0 Mbit of wire time at 1 Mbps is 3.0 s;
+        # ACK overhead and pacing should cost no more than ~30% extra.
+        assert finished[-1] < 4.0
+
+
+class TestProofOfReceipt:
+    def test_optimistic_ack_rejected(self):
+        """A fabricated ACK for unreceived data must not advance the window."""
+        from repro.link.por import PorAck
+
+        config = PorConfig(window=8)
+        sim, a, b, _, _ = make_link(latency=1.0, config=config)  # slow link
+        for i in range(8):
+            a.send(i, 100)
+        # Attacker (the receiver) optimistically acks everything without
+        # having the nonces.
+        bogus = PorAck(a.epoch, 7, b"\x00" * 16)
+        a._on_packet(bogus)
+        assert a.in_flight == 8
+        assert a.bogus_acks_rejected == 1
+
+    def test_honest_acks_free_window(self):
+        sim, a, b, _, _ = make_link()
+        for i in range(8):
+            a.send(i, 100)
+        sim.run(until=1.0)
+        assert a.in_flight == 0
+        assert a.bogus_acks_rejected == 0
+
+
+class TestIntegrity:
+    def test_corrupted_data_dropped(self):
+        sim, a, b, _, delivered_b = make_link()
+        # Tamper with every packet on the wire.
+        original = a.out_channel.send
+
+        def tampering_send(pkt, size):
+            if hasattr(pkt, "corrupted"):
+                pkt.corrupted = True
+            original(pkt, size)
+
+        a.out_channel.send = tampering_send
+        a.send("evil", 100)
+        sim.run(until=0.5)
+        assert delivered_b == []
+        assert b.macs_rejected > 0
+
+    def test_corruption_ignored_when_macs_disabled(self):
+        config = PorConfig(check_macs=False)
+        sim, a, b, _, delivered_b = make_link(config=config)
+        original = a.out_channel.send
+
+        def tampering_send(pkt, size):
+            if hasattr(pkt, "corrupted"):
+                pkt.corrupted = True
+            original(pkt, size)
+
+        a.out_channel.send = tampering_send
+        a.send("evil", 100)
+        sim.run(until=0.5)
+        assert delivered_b == ["evil"]  # no MAC check: tampering undetected
+
+
+class TestRealCryptoHandshake:
+    def test_handshake_establishes_and_delivers(self):
+        sim, a, b, _, delivered_b = make_link(pki_mode=PkiMode.REAL, handshake=True)
+        assert not a.established
+        sim.run(until=1.0)
+        assert a.established and b.established
+        a.send(b"secret-payload", 100)
+        sim.run(until=2.0)
+        assert delivered_b == [b"secret-payload"]
+
+    def test_send_before_establishment_rejected(self):
+        sim, a, b, _, _ = make_link(pki_mode=PkiMode.REAL, handshake=True)
+        with pytest.raises(ProtocolError):
+            a.send(b"x", 10)
+
+    def test_real_hmac_rejects_bit_flip(self):
+        sim, a, b, _, delivered_b = make_link(pki_mode=PkiMode.REAL, handshake=True)
+        sim.run(until=1.0)
+        original = a.out_channel.send
+
+        def bitflip_send(pkt, size):
+            if hasattr(pkt, "mac") and isinstance(pkt.mac, bytes):
+                pkt.mac = bytes([pkt.mac[0] ^ 1]) + pkt.mac[1:]
+            original(pkt, size)
+
+        a.out_channel.send = bitflip_send
+        a.send(b"x", 10)
+        sim.run(until=2.0)
+        assert delivered_b == []
+        assert b.macs_rejected > 0
+
+
+class TestCrashRecovery:
+    def test_epoch_reset_resynchronizes(self):
+        sim, a, b, _, delivered_b = make_link()
+        a.send("before", 100)
+        sim.run(until=1.0)
+        assert delivered_b == ["before"]
+        a.reset()  # a crashes and restarts
+        assert a.epoch == 1
+        a.send("after", 100)
+        sim.run(until=2.0)
+        assert delivered_b == ["before", "after"]
+
+    def test_stale_epoch_packets_ignored(self):
+        from repro.link.por import PorData
+
+        sim, a, b, _, delivered_b = make_link()
+        a.send("current", 100)
+        sim.run(until=1.0)
+        a.reset()
+        a.send("fresh", 100)
+        sim.run(until=2.0)
+        # Replay a packet from epoch 0.
+        stale = PorData(0, 5, b"\x00" * 8, "stale", 100)
+        b._on_packet(stale)
+        assert "stale" not in delivered_b
+
+
+class TestConfigValidation:
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            PorConfig(window=0)
+
+    def test_bad_rto_ordering(self):
+        with pytest.raises(ConfigurationError):
+            PorConfig(min_rto=0.5, initial_rto=0.1)
+
+    def test_negative_slack(self):
+        with pytest.raises(ConfigurationError):
+            PorConfig(pacing_slack=-1.0)

@@ -1,0 +1,159 @@
+"""Unit tests for message and acknowledgment formats."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.pki import Pki
+from repro.errors import ConfigurationError
+from repro.messaging.message import (
+    E2E_ACK_BASE_SIZE,
+    E2E_ACK_ENTRY_SIZE,
+    MESSAGE_HEADER_SIZE,
+    E2eAck,
+    Hello,
+    Message,
+    NeighborAck,
+    Semantics,
+    StateRequest,
+)
+from repro.overlay.config import DisseminationMethod
+
+
+@pytest.fixture
+def pki():
+    p = Pki(seed=1)
+    for node in (1, 2, 3):
+        p.register(node)
+    return p
+
+
+def msg(**kwargs):
+    defaults = dict(
+        source=1, dest=3, seq=7, semantics=Semantics.PRIORITY,
+        priority=5, expiration=10.0, size_bytes=800,
+    )
+    defaults.update(kwargs)
+    return Message(**defaults)
+
+
+class TestMessageSignatures:
+    def test_sign_verify_roundtrip(self, pki):
+        signed = msg().sign(pki)
+        assert signed.verify(pki)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("dest", 2),
+            ("seq", 8),
+            ("priority", 10),
+            ("expiration", 99.0),
+            ("size_bytes", 4000),
+            ("flooding", False),
+            ("sent_at", 5.0),
+            ("source", 2),
+        ],
+    )
+    def test_any_field_tamper_breaks_signature(self, pki, field, value):
+        signed = msg().sign(pki)
+        tampered = dataclasses.replace(signed, **{field: value})
+        assert not tampered.verify(pki)
+
+    def test_path_tamper_breaks_signature(self, pki):
+        signed = msg(flooding=False, paths=((1, 2, 3),)).sign(pki)
+        rerouted = dataclasses.replace(signed, paths=((1, 3),))
+        assert not rerouted.verify(pki)
+
+    def test_payload_is_not_signed_but_size_is(self, pki):
+        """The overlay signs sizes and headers; payload integrity is the
+        application's concern in the simulator (real Spines signs bytes)."""
+        signed = msg(payload=b"a").sign(pki)
+        assert dataclasses.replace(signed, payload=b"b").verify(pki)
+        assert not dataclasses.replace(signed, size_bytes=801).verify(pki)
+
+
+class TestMessageProperties:
+    def test_uid_distinguishes_semantics_and_flows(self):
+        a = msg(semantics=Semantics.PRIORITY)
+        b = msg(semantics=Semantics.RELIABLE)
+        c = msg(dest=2)
+        d = msg(seq=8)
+        uids = {a.uid, b.uid, c.uid, d.uid}
+        assert len(uids) == 4
+
+    def test_flow(self):
+        assert msg().flow == (1, 3)
+
+    def test_wire_size_components(self):
+        plain = msg()
+        assert plain.wire_size(256) == 800 + MESSAGE_HEADER_SIZE + 256
+        pathy = msg(flooding=False, paths=((1, 2, 3), (1, 3)))
+        assert pathy.wire_size(0) == 800 + MESSAGE_HEADER_SIZE + 4 * 5
+
+    def test_expiry(self):
+        assert msg(expiration=5.0).is_expired(5.1)
+        assert not msg(expiration=5.0).is_expired(4.9)
+        assert not msg(expiration=None).is_expired(1e9)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_uid_injective_in_seq(self, seq):
+        assert msg(seq=seq).uid != msg(seq=seq + 1).uid
+
+
+class TestE2eAck:
+    def test_create_and_verify(self, pki):
+        ack = E2eAck.create(pki, 3, stamp=1, by_source={1: 10, 2: 4})
+        assert ack.verify(pki)
+        assert ack.seq_for(1) == 10
+        assert ack.seq_for(2) == 4
+        assert ack.seq_for(99) == -1
+
+    def test_tamper_rejected(self, pki):
+        ack = E2eAck.create(pki, 3, stamp=1, by_source={1: 10})
+        boosted = dataclasses.replace(ack, cumulative=(("1", 99),))
+        assert not boosted.verify(pki)
+
+    def test_progress_semantics(self, pki):
+        old = E2eAck.create(pki, 3, stamp=1, by_source={1: 10})
+        newer = E2eAck.create(pki, 3, stamp=2, by_source={1: 11})
+        same = E2eAck.create(pki, 3, stamp=2, by_source={1: 10})
+        stale = E2eAck.create(pki, 3, stamp=0, by_source={1: 99})
+        assert newer.indicates_progress_over(old)
+        assert not same.indicates_progress_over(old)   # no flow advanced
+        assert not stale.indicates_progress_over(old)  # older stamp
+        assert old.indicates_progress_over(None)
+
+    def test_wire_size_grows_with_entries(self, pki):
+        one = E2eAck.create(pki, 3, 1, {1: 1})
+        two = E2eAck.create(pki, 3, 1, {1: 1, 2: 1})
+        assert one.wire_size == E2E_ACK_BASE_SIZE + E2E_ACK_ENTRY_SIZE
+        assert two.wire_size == one.wire_size + E2E_ACK_ENTRY_SIZE
+
+    def test_cumulative_is_sorted_and_canonical(self):
+        a = E2eAck.make_cumulative({2: 5, 1: 3})
+        b = E2eAck.make_cumulative({1: 3, 2: 5})
+        assert a == b == (("1", 3), ("2", 5))
+
+
+class TestSmallFormats:
+    def test_neighbor_ack_size(self):
+        ack = NeighborAck(1, ((("1", "3"), 5, 69),))
+        assert ack.wire_size > 0
+
+    def test_hello_and_state_request_sizes(self):
+        assert Hello.WIRE_SIZE > 0
+        assert StateRequest.WIRE_SIZE > 0
+
+
+class TestDisseminationMethod:
+    def test_factories(self):
+        assert DisseminationMethod.flooding().is_flooding
+        k3 = DisseminationMethod.k_paths(3)
+        assert not k3.is_flooding
+        assert k3.k == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            DisseminationMethod.k_paths(0)

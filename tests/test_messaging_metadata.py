@@ -1,0 +1,59 @@
+"""Unit tests for the duplicate-suppression metadata store."""
+
+from hypothesis import given, strategies as st
+
+from repro.messaging.metadata import MetadataStore
+
+
+class TestDuplicateDetection:
+    def test_new_uid_recorded(self):
+        store = MetadataStore()
+        assert store.check_and_record(("s", 1), expiration=10.0, now=0.0)
+
+    def test_duplicate_rejected(self):
+        store = MetadataStore()
+        store.check_and_record(("s", 1), 10.0, 0.0)
+        assert not store.check_and_record(("s", 1), 10.0, 1.0)
+        assert store.duplicates_detected == 1
+
+    def test_distinct_uids_independent(self):
+        store = MetadataStore()
+        assert store.check_and_record(("s", 1), 10.0, 0.0)
+        assert store.check_and_record(("s", 2), 10.0, 0.0)
+        assert store.check_and_record(("t", 1), 10.0, 0.0)
+
+    def test_seen(self):
+        store = MetadataStore()
+        store.check_and_record(("s", 1), 10.0, 0.0)
+        assert store.seen(("s", 1), now=5.0)
+        assert not store.seen(("s", 1), now=11.0)
+        assert not store.seen(("s", 2), now=0.0)
+
+
+class TestExpiry:
+    def test_expired_uid_reclaimed(self):
+        store = MetadataStore()
+        store.check_and_record(("s", 1), expiration=5.0, now=0.0)
+        # After expiry the uid can be recorded again (the message itself
+        # is expired network-wide, so a replay is harmless).
+        assert store.check_and_record(("s", 1), 20.0, now=6.0)
+
+    def test_memory_reclaimed(self):
+        store = MetadataStore()
+        for i in range(100):
+            store.check_and_record(("s", i), expiration=1.0, now=0.0)
+        assert len(store) == 100
+        store.check_and_record(("t", 0), expiration=10.0, now=2.0)
+        assert len(store) == 1
+
+    def test_lifetime_capped_against_malicious_expirations(self):
+        store = MetadataStore(max_lifetime=10.0)
+        store.check_and_record(("s", 1), expiration=1e9, now=0.0)
+        store.check_and_record(("t", 1), expiration=100.0, now=11.0)
+        assert len(store) == 1  # the first entry was capped and collected
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=50))
+    def test_property_each_uid_accepted_exactly_once_before_expiry(self, seqs):
+        store = MetadataStore()
+        accepted = [seq for seq in seqs if store.check_and_record(("s", seq), 1e6, 0.0)]
+        assert sorted(accepted) == sorted(set(seqs))

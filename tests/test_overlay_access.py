@@ -1,0 +1,142 @@
+"""Tests for external client access (Figure 1's white boxes)."""
+
+import pytest
+
+from repro.byzantine.behaviors import DroppingBehavior
+from repro.errors import ConfigurationError
+from repro.messaging.message import Semantics
+from repro.overlay.access import AccessPoint, ClientEnvelope
+from repro.overlay.config import OverlayConfig
+from repro.overlay.network import OverlayNetwork
+from repro.topology.generators import clique, ring
+
+PACED = OverlayConfig(link_bandwidth_bps=1e6)
+
+
+def build_with_clients():
+    net = OverlayNetwork.build(ring(4), PACED)
+    ap1 = AccessPoint(net, 1)
+    ap3 = AccessPoint(net, 3)
+    alice = ap1.attach("alice")
+    bob = ap3.attach("bob")
+    return net, ap1, ap3, alice, bob
+
+
+class TestClientMessaging:
+    def test_client_to_client_priority(self):
+        net, _, _, alice, bob = build_with_clients()
+        alice.send(3, data=b"hi bob", to_client="bob", size_bytes=500)
+        net.run(2.0)
+        assert len(bob.received) == 1
+        _, envelope = bob.received[0]
+        assert envelope.from_client == "alice"
+        assert envelope.data == b"hi bob"
+
+    def test_client_to_client_reliable_in_order(self):
+        net, _, _, alice, bob = build_with_clients()
+        for i in range(20):
+            alice.send(3, data=i, to_client="bob",
+                       semantics=Semantics.RELIABLE, size_bytes=400)
+        net.run(10.0)
+        assert [env.data for _, env in bob.received] == list(range(20))
+
+    def test_reliable_backpressure_retries(self):
+        net = OverlayNetwork.build(
+            ring(4), OverlayConfig(link_bandwidth_bps=1e5, reliable_buffer=4)
+        )
+        ap1, ap3 = AccessPoint(net, 1), AccessPoint(net, 3)
+        alice, bob = ap1.attach("alice"), ap3.attach("bob")
+        for i in range(12):
+            alice.send(3, data=i, to_client="bob",
+                       semantics=Semantics.RELIABLE, size_bytes=400)
+        net.run(30.0)
+        assert [env.data for _, env in bob.received] == list(range(12))
+
+    def test_access_latency_is_added(self):
+        net, _, _, alice, bob = build_with_clients()
+        alice.send(3, data="x", to_client="bob", size_bytes=100)
+        net.run(2.0)
+        delivered_at, _ = bob.received[0]
+        # Two access hops (2 ms each) plus two overlay hops (10 ms each).
+        assert delivered_at >= 0.024
+
+    def test_bidirectional(self):
+        net, _, _, alice, bob = build_with_clients()
+        alice.send(3, data="ping", to_client="bob", size_bytes=100)
+        net.run(1.0)
+        bob.send(1, data="pong", to_client="alice", size_bytes=100)
+        net.run(1.0)
+        assert alice.received[0][1].data == "pong"
+
+    def test_callback(self):
+        net, _, _, alice, bob = build_with_clients()
+        seen = []
+        bob.on_receive = lambda env: seen.append(env.data)
+        alice.send(3, data=1, to_client="bob")
+        net.run(1.0)
+        assert seen == [1]
+
+
+class TestAttachment:
+    def test_duplicate_attach_rejected(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        ap = AccessPoint(net, 1)
+        ap.attach("alice")
+        with pytest.raises(ConfigurationError):
+            ap.attach("alice")
+
+    def test_unknown_recipient_counted(self):
+        net, _, ap3, alice, _ = build_with_clients()
+        alice.send(3, data="?", to_client="ghost")
+        net.run(2.0)
+        assert ap3.undeliverable == 1
+
+    def test_detach_stops_delivery(self):
+        net, _, ap3, alice, bob = build_with_clients()
+        bob.detach()
+        alice.send(3, data="late", to_client="bob")
+        net.run(2.0)
+        assert bob.received == []
+        assert ap3.undeliverable == 1
+
+    def test_multiple_clients_per_node(self):
+        net = OverlayNetwork.build(ring(4), PACED)
+        ap1, ap3 = AccessPoint(net, 1), AccessPoint(net, 3)
+        alice = ap1.attach("alice")
+        carol = ap3.attach("carol")
+        dave = ap3.attach("dave")
+        alice.send(3, data="c", to_client="carol")
+        alice.send(3, data="d", to_client="dave")
+        net.run(2.0)
+        assert carol.received[0][1].data == "c"
+        assert dave.received[0][1].data == "d"
+
+    def test_node_app_delivery_still_works(self):
+        """The access point chains, not replaces, the node's on_deliver."""
+        net = OverlayNetwork.build(ring(4), PACED)
+        app = []
+        net.node(3).on_deliver = lambda m: app.append(m)
+        ap3 = AccessPoint(net, 3)
+        ap3.attach("bob")
+        net.client(1).send_priority(3, payload="plain")
+        net.run(2.0)
+        assert len(app) == 1
+
+
+class TestClientsUnderAttack:
+    def test_client_traffic_survives_byzantine_forwarder(self):
+        net = OverlayNetwork.build(clique(4), PACED)
+        ap1, ap4 = AccessPoint(net, 1), AccessPoint(net, 4)
+        alice, bob = ap1.attach("alice"), ap4.attach("bob")
+        net.compromise(2, DroppingBehavior())
+        for i in range(5):
+            alice.send(4, data=i, to_client="bob")
+        net.run(3.0)
+        assert [env.data for _, env in bob.received] == [0, 1, 2, 3, 4]
+
+    def test_crashed_attachment_node_drops_submissions(self):
+        net, _, _, alice, bob = build_with_clients()
+        net.crash(1)
+        alice.send(3, data="lost", to_client="bob")
+        net.run(2.0)
+        assert bob.received == []

@@ -1,0 +1,176 @@
+"""Unit tests for channels: latency, bandwidth pacing, loss, failure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.channel import Channel, ChannelConfig
+from repro.sim.engine import Simulator
+
+
+def make_channel(sim, **kwargs):
+    channel = Channel(sim, ChannelConfig(**kwargs), name="test")
+    received = []
+    channel.on_receive = lambda pkt: received.append((sim.now, pkt))
+    return channel, received
+
+
+class TestLatency:
+    def test_delivery_after_latency(self):
+        sim = Simulator()
+        channel, received = make_channel(sim, latency=0.050)
+        channel.send("hello", size_bytes=100)
+        sim.run()
+        assert received == [(0.050, "hello")]
+
+    def test_zero_latency_infinite_bandwidth(self):
+        sim = Simulator()
+        channel, received = make_channel(sim)
+        channel.send("x", size_bytes=1)
+        sim.run()
+        assert received == [(0.0, "x")]
+
+
+class TestBandwidthPacing:
+    def test_serialization_delay(self):
+        sim = Simulator()
+        # 1000 bytes at 8000 bps = 1 second serialization.
+        channel, received = make_channel(sim, bandwidth_bps=8000.0)
+        channel.send("a", size_bytes=1000)
+        sim.run()
+        assert received == [(1.0, "a")]
+
+    def test_back_to_back_packets_queue(self):
+        sim = Simulator()
+        channel, received = make_channel(sim, bandwidth_bps=8000.0)
+        channel.send("a", size_bytes=1000)
+        channel.send("b", size_bytes=1000)
+        sim.run()
+        assert received == [(1.0, "a"), (2.0, "b")]
+
+    def test_time_until_idle(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim, bandwidth_bps=8000.0)
+        assert channel.time_until_idle() == 0.0
+        channel.send("a", size_bytes=1000)
+        assert channel.time_until_idle() == pytest.approx(1.0)
+
+    def test_fifo_with_latency(self):
+        sim = Simulator()
+        channel, received = make_channel(sim, latency=0.5, bandwidth_bps=8000.0)
+        channel.send("a", size_bytes=1000)
+        channel.send("b", size_bytes=500)
+        sim.run()
+        assert [pkt for _, pkt in received] == ["a", "b"]
+        assert received[0][0] == pytest.approx(1.5)
+        assert received[1][0] == pytest.approx(2.0)
+
+    def test_idle_gap_resets_pacing(self):
+        sim = Simulator()
+        channel, received = make_channel(sim, bandwidth_bps=8000.0)
+        channel.send("a", size_bytes=1000)
+        sim.run()
+        sim.schedule(10.0, lambda: channel.send("b", size_bytes=1000))
+        sim.run()
+        # Second packet serializes starting at t=11 (not queued behind "a").
+        assert received[1][0] == pytest.approx(12.0)
+
+
+class TestLoss:
+    def test_zero_loss_delivers_everything(self):
+        sim = Simulator()
+        channel, received = make_channel(sim, loss_rate=0.0)
+        for i in range(100):
+            channel.send(i, size_bytes=10)
+        sim.run()
+        assert len(received) == 100
+
+    def test_loss_rate_is_approximately_respected(self):
+        sim = Simulator(seed=42)
+        channel, received = make_channel(sim, loss_rate=0.3)
+        n = 5000
+        for i in range(n):
+            channel.send(i, size_bytes=10)
+        sim.run()
+        delivered = len(received)
+        assert 0.62 * n < delivered < 0.78 * n
+        assert channel.packets_lost == n - delivered
+
+    def test_loss_is_deterministic_given_seed(self):
+        outcomes = []
+        for _ in range(2):
+            sim = Simulator(seed=9)
+            channel, received = make_channel(sim, loss_rate=0.5)
+            for i in range(200):
+                channel.send(i, size_bytes=10)
+            sim.run()
+            outcomes.append([pkt for _, pkt in received])
+        assert outcomes[0] == outcomes[1]
+
+
+class TestAvailability:
+    def test_down_channel_drops_packets(self):
+        sim = Simulator()
+        channel, received = make_channel(sim, latency=0.1)
+        channel.take_down()
+        channel.send("lost", size_bytes=10)
+        sim.run()
+        assert received == []
+        assert channel.packets_lost == 1
+
+    def test_in_flight_packets_lost_when_channel_fails(self):
+        sim = Simulator()
+        channel, received = make_channel(sim, latency=1.0)
+        channel.send("doomed", size_bytes=10)
+        sim.schedule(0.5, channel.take_down)
+        sim.run()
+        assert received == []
+
+    def test_restore_resumes_delivery(self):
+        sim = Simulator()
+        channel, received = make_channel(sim, latency=0.1)
+        channel.take_down()
+        channel.restore()
+        channel.send("ok", size_bytes=10)
+        sim.run()
+        assert [pkt for _, pkt in received] == ["ok"]
+
+
+class TestJitter:
+    def test_jitter_adds_bounded_delay_and_preserves_fifo(self):
+        sim = Simulator(seed=5)
+        channel, received = make_channel(sim, latency=0.1, jitter=0.05)
+        for i in range(50):
+            channel.send(i, size_bytes=10)
+        sim.run()
+        assert [pkt for _, pkt in received] == list(range(50))
+        for t, _ in received:
+            assert 0.1 <= t  # at least base latency
+        times = [t for t, _ in received]
+        assert times == sorted(times)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency": -1.0},
+            {"bandwidth_bps": 0.0},
+            {"bandwidth_bps": -5.0},
+            {"loss_rate": 1.0},
+            {"loss_rate": -0.1},
+            {"jitter": -0.5},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(**kwargs)
+
+    def test_counters(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.send("a", size_bytes=100)
+        channel.send("b", size_bytes=200)
+        sim.run()
+        assert channel.packets_sent == 2
+        assert channel.bytes_sent == 300
+        assert channel.packets_delivered == 2

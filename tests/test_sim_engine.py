@@ -1,0 +1,178 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import PeriodicTimer, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0  # clock advanced to the horizon
+        sim.run(until=6.0)
+        assert fired == [1, 5]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+    def test_schedule_during_run(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(3.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_step_runs_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_run == 4
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
+    def test_property_execution_order_is_sorted(self, delays):
+        sim = Simulator()
+        executed = []
+        for d in delays:
+            sim.schedule(d, lambda t=d: executed.append(t))
+        sim.run()
+        assert executed == sorted(delays)
+
+
+class TestPeriodicTimer:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not timer.running
+
+    def test_phase_offsets_first_firing(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start(phase=0.25)
+        sim.run(until=3.0)
+        assert ticks == [1.25, 2.25]
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        sim = Simulator(seed=7)
+        assert sim.rngs.stream("a") is sim.rngs.stream("a")
+
+    def test_streams_are_independent_of_creation_order(self):
+        sim1 = Simulator(seed=7)
+        a_first = [sim1.rngs.stream("a").random() for _ in range(5)]
+        sim2 = Simulator(seed=7)
+        sim2.rngs.stream("b").random()  # interleave another stream
+        a_second = [sim2.rngs.stream("a").random() for _ in range(5)]
+        assert a_first == a_second
+
+    def test_different_seeds_differ(self):
+        r1 = Simulator(seed=1).rngs.stream("a").random()
+        r2 = Simulator(seed=2).rngs.stream("a").random()
+        assert r1 != r2
+
+    def test_fork_is_deterministic(self):
+        sim = Simulator(seed=3)
+        fork1 = sim.rngs.fork("child").stream("x").random()
+        fork2 = Simulator(seed=3).rngs.fork("child").stream("x").random()
+        assert fork1 == fork2

@@ -1,0 +1,85 @@
+"""Unit tests for measurement primitives."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import GoodputMeter, LatencyRecorder, StatsRegistry, TimeSeries
+
+
+class TestGoodputMeter:
+    def test_series_buckets_bytes(self):
+        sim = Simulator()
+        meter = GoodputMeter(sim, interval=1.0)
+        sim.schedule(0.5, meter.record, 125_000)   # 1 Mbit in bucket 0
+        sim.schedule(1.5, meter.record, 250_000)   # 2 Mbit in bucket 1
+        sim.run(until=3.0)
+        series = meter.series(0.0, 3.0)
+        assert series == [(0.0, pytest.approx(1.0)), (1.0, pytest.approx(2.0)), (2.0, 0.0)]
+
+    def test_average_mbps(self):
+        sim = Simulator()
+        meter = GoodputMeter(sim, interval=1.0)
+        sim.schedule(0.1, meter.record, 125_000)
+        sim.schedule(1.1, meter.record, 125_000)
+        sim.run(until=2.0)
+        assert meter.average_mbps(0.0, 2.0) == pytest.approx(1.0)
+        assert meter.average_mbps(5.0, 5.0) == 0.0
+
+    def test_total_and_first_last(self):
+        sim = Simulator()
+        meter = GoodputMeter(sim)
+        sim.schedule(2.0, meter.record, 10)
+        sim.schedule(4.0, meter.record, 20)
+        sim.run()
+        assert meter.total_bytes == 30
+        assert meter.first_time == 2.0
+        assert meter.last_time == 4.0
+
+
+class TestLatencyRecorder:
+    def test_summary_statistics(self):
+        rec = LatencyRecorder()
+        for i, lat in enumerate([0.010, 0.020, 0.030, 0.040]):
+            rec.record(float(i), lat)
+        assert rec.count == 4
+        assert rec.mean() == pytest.approx(0.025)
+        assert rec.maximum() == pytest.approx(0.040)
+        assert rec.percentile(0) == pytest.approx(0.010)
+        assert rec.percentile(100) == pytest.approx(0.040)
+        assert rec.percentile(50) == pytest.approx(0.025)
+
+    def test_empty_recorder(self):
+        rec = LatencyRecorder()
+        assert rec.mean() == 0.0
+        assert rec.percentile(50) == 0.0
+        assert rec.maximum() == 0.0
+
+    def test_single_sample_percentile(self):
+        rec = LatencyRecorder()
+        rec.record(0.0, 0.5)
+        assert rec.percentile(99) == 0.5
+
+
+class TestTimeSeriesAndRegistry:
+    def test_time_series(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 10.0)
+        ts.record(2.0, 20.0)
+        assert ts.times() == [1.0, 2.0]
+        assert ts.values() == [10.0, 20.0]
+        assert len(ts) == 2
+
+    def test_registry_reuses_instances(self):
+        sim = Simulator()
+        stats = StatsRegistry(sim)
+        assert stats.counter("a") is stats.counter("a")
+        assert stats.goodput("g") is stats.goodput("g")
+        assert stats.latency("l") is stats.latency("l")
+        assert stats.series("s") is stats.series("s")
+
+    def test_counters_snapshot(self):
+        sim = Simulator()
+        stats = StatsRegistry(sim)
+        stats.counter("sent").add(3)
+        stats.counter("dropped").add()
+        assert stats.counters() == {"sent": 3, "dropped": 1}
