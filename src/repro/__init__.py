@@ -33,8 +33,12 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 _LAZY = {
+    "ChaosEngine": ("repro.faults.chaos", "ChaosEngine"),
+    "ChaosSpec": ("repro.faults.schedule", "ChaosSpec"),
     "CryptoMode": ("repro.overlay.config", "CryptoMode"),
     "DisseminationMethod": ("repro.overlay.config", "DisseminationMethod"),
+    "FaultSchedule": ("repro.faults.schedule", "FaultSchedule"),
+    "InvariantMonitor": ("repro.faults.invariants", "InvariantMonitor"),
     "OverlayConfig": ("repro.overlay.config", "OverlayConfig"),
     "OverlayNetwork": ("repro.overlay.network", "OverlayNetwork"),
     "Message": ("repro.messaging.message", "Message"),

@@ -33,6 +33,10 @@ from repro.byzantine.behaviors import (
     ReorderingBehavior,
     StackedBehavior,
 )
+from repro.errors import ProtocolError
+from repro.faults.chaos import ChaosEngine
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.schedule import ChaosSpec
 from repro.messaging.message import Message
 from repro.overlay.config import DisseminationMethod, OverlayConfig
 from repro.overlay.network import OverlayNetwork
@@ -133,12 +137,21 @@ class TurretCampaign:
         run_seconds: float = 6.0,
         master_seed: int = 0,
         config: Optional[OverlayConfig] = None,
+        chaos: Optional[ChaosSpec] = None,
     ):
         self.topology_factory = topology_factory
         self.n_compromised = n_compromised
         self.run_seconds = run_seconds
         self.master_seed = master_seed
         self.config = config or OverlayConfig(link_bandwidth_bps=1e6)
+        #: Optional chaos layered under the Byzantine attackers: each
+        #: iteration additionally runs a fault schedule generated from the
+        #: iteration seed, with the InvariantMonitor armed.  Prefer
+        #: ``ChaosSpec.link_level(...)``: node crash/churn faults lose the
+        #: destination's soft state, which invalidates this campaign's
+        #: endpoint-ledger exactly-once checks (the monitor's crash-aware
+        #: checks still run either way).
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     def run(self, iterations: int) -> TurretReport:
@@ -168,6 +181,15 @@ class TurretCampaign:
         reliable_target = rng.randrange(10, 30)
         reliable_sent = [0]
 
+        monitor: Optional[InvariantMonitor] = None
+        has_node_faults = False
+        if self.chaos is not None:
+            schedule = self.chaos.generate(topology, seed=seed)
+            has_node_faults = any(f.kind in ("crash", "churn") for f in schedule)
+            ChaosEngine(net, schedule).arm()
+            monitor = InvariantMonitor(net)
+            monitor.arm()
+
         def workload() -> None:
             if net.sim.now >= self.run_seconds - 1.0:
                 return
@@ -176,15 +198,22 @@ class TurretCampaign:
                 if rng.random() < 0.5
                 else DisseminationMethod.k_paths(rng.choice((1, 2)))
             )
-            message = net.node(source).send_priority(
-                dest, size_bytes=rng.randrange(100, 1400),
-                priority=rng.randrange(1, 11), method=method,
-            )
-            sent_priority.append(message.uid)
-            while reliable_sent[0] < reliable_target and net.node(source).send_reliable(
-                dest, size_bytes=500
-            ):
-                reliable_sent[0] += 1
+            try:
+                message = net.node(source).send_priority(
+                    dest, size_bytes=rng.randrange(100, 1400),
+                    priority=rng.randrange(1, 11), method=method,
+                )
+                sent_priority.append(message.uid)
+                while reliable_sent[0] < reliable_target and net.node(
+                    source
+                ).send_reliable(dest, size_bytes=500):
+                    reliable_sent[0] += 1
+            except ProtocolError:
+                # Under chaos the source may be crashed or partitioned off
+                # (no usable path); that is expected load shedding, not a
+                # protocol bug.  Without chaos it stays a failure.
+                if self.chaos is None:
+                    raise
             net.sim.schedule(0.1, workload)
 
         violations: List[str] = []
@@ -192,9 +221,18 @@ class TurretCampaign:
         try:
             workload()
             net.run(self.run_seconds)
-            violations = self._check_invariants(
-                net, source, dest, observed, sent_priority, reliable_sent[0]
-            )
+            # The endpoint-ledger checks assume the destination never
+            # loses its delivery history; skip them when the chaos
+            # schedule crashed nodes (the monitor's crash-aware checks
+            # below cover that regime).
+            if not has_node_faults:
+                violations = self._check_invariants(
+                    net, source, dest, observed, sent_priority, reliable_sent[0]
+                )
+            if monitor is not None:
+                violations.extend(
+                    f"{v.invariant}: {v.detail}" for v in monitor.violations
+                )
         except Exception as exc:  # noqa: BLE001 - crash-freedom is the invariant
             exception = f"{type(exc).__name__}: {exc}"
         return TurretIteration(

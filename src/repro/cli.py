@@ -13,6 +13,10 @@ Commands
     goodput, latency, and dissemination cost.
 ``turret``
     Run a Turret-style randomized attack campaign and print the report.
+``chaos``
+    Run a seeded chaos soak: a fault schedule (flaps, gray failures,
+    bursts, crashes, churn, partitions) against the deployment with the
+    invariant monitor armed; exit 1 on any violation.
 """
 
 from __future__ import annotations
@@ -110,6 +114,40 @@ def cmd_turret(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: seeded chaos soak; exit 1 on invariant violations."""
+    from repro.faults.schedule import ChaosSpec
+    from repro.workloads.experiment import Deployment
+
+    deployment = Deployment(seed=args.seed)
+    spec_factory = ChaosSpec.link_level if args.link_level else ChaosSpec.full
+    spec = spec_factory(duration=args.seconds, intensity=args.intensity)
+    schedule = deployment.add_chaos(spec)
+    if args.print_schedule:
+        print(schedule.describe())
+    flows = global_cloud.EVALUATION_FLOWS[: args.flows]
+    for source, dest in flows:
+        deployment.add_flow(source, dest, rate_fraction=0.2)
+    counts = ", ".join(f"{k}={v}" for k, v in schedule.counts().items() if v)
+    print(f"chaos soak: seed={args.seed} {args.seconds:.0f} s, "
+          f"{len(schedule)} faults ({counts or 'none'})")
+    deployment.run(args.seconds + 10.0)  # settle time after the last fault
+    window = (0.0, args.seconds)
+    for source, dest in flows:
+        result = deployment.flow_result(source, dest, window)
+        print(f"  {source:>2} -> {dest:<2}  {result.goodput_mbps:6.3f} Mbps  "
+              f"{result.delivered} delivered")
+    engine = deployment.chaos
+    monitor = deployment.monitor
+    print(f"applied: {engine.summary()}")
+    quarantines = deployment.network.stats.counter("link_quarantines").value
+    reinstatements = deployment.network.stats.counter("link_reinstatements").value
+    print(f"self-healing: {quarantines} quarantine(s), "
+          f"{reinstatements} reinstatement(s)")
+    print(monitor.report())
+    return 0 if monitor.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -139,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
     turret.add_argument("--seconds", type=float, default=5.0)
     turret.add_argument("--seed", type=int, default=0)
     turret.set_defaults(func=cmd_turret)
+
+    chaos = sub.add_parser("chaos", help="seeded chaos soak with invariant monitor")
+    chaos.add_argument("--seconds", type=float, default=60.0)
+    chaos.add_argument("--intensity", type=float, default=1.0)
+    chaos.add_argument("--flows", type=int, default=3, choices=range(1, 6))
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--link-level", action="store_true",
+                       help="link faults only (no crashes/partitions)")
+    chaos.add_argument("--print-schedule", action="store_true",
+                       help="print the generated fault schedule")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

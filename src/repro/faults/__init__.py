@@ -1,0 +1,21 @@
+"""Chaos fault injection and invariant monitoring.
+
+Declarative, seeded, shrinkable fault schedules (:mod:`repro.faults.
+schedule`), an engine that applies them to a live overlay network
+(:mod:`repro.faults.chaos`), and continuously-running end-to-end safety
+checks (:mod:`repro.faults.invariants`).
+"""
+
+from repro.faults.chaos import ChaosEngine
+from repro.faults.invariants import InvariantMonitor, Violation
+from repro.faults.schedule import FAULT_KINDS, ChaosSpec, Fault, FaultSchedule
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosEngine",
+    "ChaosSpec",
+    "Fault",
+    "FaultSchedule",
+    "InvariantMonitor",
+    "Violation",
+]

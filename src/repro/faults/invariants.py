@@ -1,0 +1,258 @@
+"""Continuously-running safety checks for chaos runs.
+
+The :class:`InvariantMonitor` watches a live :class:`~repro.overlay.
+network.OverlayNetwork` while a chaos schedule (or a Turret campaign, or
+any other adversary) executes, and records a violation whenever one of the
+paper's end-to-end guarantees is broken:
+
+* **No duplicate delivery** — a message uid is delivered to an
+  application at most once per destination incarnation (a crash loses the
+  destination's soft state, so its dedup horizon legitimately resets).
+* **Per-flow ordering** — Reliable Messaging delivers each flow's
+  sequence numbers in strictly increasing order (resetting when either
+  endpoint crashes, which restarts the flow).
+* **Quarantine consistency** — a node never considers a link it has
+  itself quarantined as usable for routing.
+* **Priority-fairness floor** (opt-in) — a designated priority flow keeps
+  at least a minimum goodput over a sliding window, with a grace period
+  after either endpoint crashes.
+
+Checks are event-driven where possible (delivery taps) and periodic where
+not (routing-table consistency).  Violations are recorded, capped, and
+never raise inside the simulation — a chaos soak should finish and then
+report, not die mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.messaging.message import Message, Semantics
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.node import OverlayNode
+
+#: Stop recording after this many violations (the run is already broken;
+#: unbounded lists just drown the report).
+MAX_VIOLATIONS = 100
+
+
+class Violation:
+    """One observed invariant breach."""
+
+    __slots__ = ("time", "invariant", "detail")
+
+    def __init__(self, time: float, invariant: str, detail: str):
+        self.time = time
+        self.invariant = invariant
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"[{self.time:.3f}s] {self.invariant}: {self.detail}"
+
+
+class _FairnessProbe:
+    """Sliding-window goodput floor for one priority flow."""
+
+    __slots__ = ("source", "dest", "min_bps", "window", "grace", "samples", "quiet_until")
+
+    def __init__(self, source, dest, min_bps: float, window: float, grace: float):
+        self.source = source
+        self.dest = dest
+        self.min_bps = min_bps
+        self.window = window
+        self.grace = grace
+        self.samples: List[Tuple[float, int]] = []  # (time, bytes)
+        self.quiet_until = 0.0  # warm-up / post-crash grace deadline
+
+    def record(self, now: float, size: int) -> None:
+        self.samples.append((now, size))
+
+    def rate(self, now: float) -> float:
+        cutoff = now - self.window
+        self.samples = [(t, s) for t, s in self.samples if t >= cutoff]
+        return sum(s for _, s in self.samples) * 8.0 / self.window
+
+
+class InvariantMonitor:
+    """Arms delivery taps and periodic checks on every node of a network."""
+
+    def __init__(self, network: OverlayNetwork, check_interval: float = 1.0):
+        self.network = network
+        self.check_interval = check_interval
+        self.violations: List[Violation] = []
+        self.deliveries_checked = 0
+        self.routing_checks = 0
+        # Per-destination set of delivered uids (reset on dest crash).
+        self._seen: Dict[object, Set[Tuple]] = {}
+        # Per-destination, per-flow last delivered reliable seq.
+        self._flow_seq: Dict[object, Dict[Tuple, int]] = {}
+        self._fairness: List[_FairnessProbe] = []
+        self._armed = False
+        self._orig_crash = None
+        self._orig_recover = None
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def arm(self) -> None:
+        """Attach to every node and start the periodic checker.  Call once
+        before running the simulation."""
+        if self._armed:
+            return
+        self._armed = True
+        for node in self.network.nodes.values():
+            node.delivery_observers.append(self._on_delivery)
+        # Learn of state loss by wrapping the network's crash/recover, so
+        # any driver (ChaosEngine, tests, Turret) is covered.
+        self._orig_crash = self.network.crash
+        self._orig_recover = self.network.recover
+
+        def crash(node_id):
+            self._orig_crash(node_id)
+            self._note_crash(node_id)
+
+        def recover(node_id):
+            self._orig_recover(node_id)
+            self._note_recover(node_id)
+
+        self.network.crash = crash  # type: ignore[method-assign]
+        self.network.recover = recover  # type: ignore[method-assign]
+        self.network.sim.schedule(self.check_interval, self._periodic)
+
+    def arm_fairness(
+        self,
+        source,
+        dest,
+        min_bps: float,
+        window: float = 5.0,
+        grace: float = 10.0,
+    ) -> None:
+        """Opt-in: require the priority flow ``source -> dest`` to keep at
+        least ``min_bps`` of delivered goodput over a sliding ``window``,
+        excused for ``grace`` seconds after either endpoint crashes (and
+        for one initial warm-up window)."""
+        probe = _FairnessProbe(source, dest, min_bps, window, grace)
+        probe.quiet_until = self.network.sim.now + window + grace
+        self._fairness.append(probe)
+
+    # ------------------------------------------------------------------
+    # Event-driven checks
+    # ------------------------------------------------------------------
+    def _on_delivery(self, message: Message, node: OverlayNode) -> None:
+        self.deliveries_checked += 1
+        now = self.network.sim.now
+        dest = node.node_id
+        seen = self._seen.setdefault(dest, set())
+        if message.uid in seen:
+            self._record(
+                now, "no-duplicate-delivery",
+                f"{message!r} delivered twice at {dest!r}",
+            )
+        seen.add(message.uid)
+        if message.semantics is Semantics.RELIABLE:
+            flows = self._flow_seq.setdefault(dest, {})
+            last = flows.get(message.flow, 0)
+            if message.seq <= last:
+                self._record(
+                    now, "per-flow-ordering",
+                    f"flow {message.flow} delivered seq {message.seq} "
+                    f"after seq {last} at {dest!r}",
+                )
+            flows[message.flow] = max(last, message.seq)
+        for probe in self._fairness:
+            if (
+                message.semantics is Semantics.PRIORITY
+                and message.source == probe.source
+                and dest == probe.dest
+            ):
+                probe.record(now, message.size_bytes)
+
+    def _note_crash(self, node_id) -> None:
+        # State loss: the destination's dedup horizon and reliable flow
+        # positions legitimately reset, as do flows it sources.
+        self._seen.pop(node_id, None)
+        self._flow_seq.pop(node_id, None)
+        for flows in self._flow_seq.values():
+            for flow in [f for f in flows if node_id in f]:
+                del flows[flow]
+        now = self.network.sim.now
+        for probe in self._fairness:
+            if node_id in (probe.source, probe.dest):
+                probe.quiet_until = max(
+                    probe.quiet_until, now + probe.grace + probe.window
+                )
+
+    def _note_recover(self, node_id) -> None:
+        now = self.network.sim.now
+        for probe in self._fairness:
+            if node_id in (probe.source, probe.dest):
+                probe.quiet_until = max(
+                    probe.quiet_until, now + probe.grace + probe.window
+                )
+
+    # ------------------------------------------------------------------
+    # Periodic checks
+    # ------------------------------------------------------------------
+    def _periodic(self) -> None:
+        self.routing_checks += 1
+        now = self.network.sim.now
+        for node in self.network.nodes.values():
+            if node.crashed:
+                continue
+            for neighbor, link in node.links.items():
+                if link.monitor_up:
+                    continue
+                if not node.mtmw.are_neighbors(node.node_id, neighbor):
+                    continue
+                if node.routing.is_link_usable(node.node_id, neighbor):
+                    self._record(
+                        now, "no-routing-via-quarantined",
+                        f"{node.node_id!r} routes via quarantined link "
+                        f"to {neighbor!r}",
+                    )
+        for probe in self._fairness:
+            if now < probe.quiet_until:
+                continue
+            source_node = self.network.nodes.get(probe.source)
+            dest_node = self.network.nodes.get(probe.dest)
+            if source_node is None or dest_node is None:
+                continue
+            if source_node.crashed or dest_node.crashed:
+                continue
+            rate = probe.rate(now)
+            if rate < probe.min_bps:
+                self._record(
+                    now, "priority-fairness-floor",
+                    f"flow {probe.source!r}->{probe.dest!r} at "
+                    f"{rate:.0f} bps < floor {probe.min_bps:.0f} bps",
+                )
+        self.network.sim.schedule(self.check_interval, self._periodic)
+
+    # ------------------------------------------------------------------
+    def _record(self, now: float, invariant: str, detail: str) -> None:
+        if len(self.violations) < MAX_VIOLATIONS:
+            self.violations.append(Violation(now, invariant, detail))
+
+    def report(self) -> str:
+        """Human-readable outcome summary."""
+        lines = [
+            f"invariant monitor: {self.deliveries_checked} deliveries, "
+            f"{self.routing_checks} routing sweeps, "
+            f"{len(self.violations)} violations",
+        ]
+        lines.extend(repr(v) for v in self.violations)
+        return "\n".join(lines)
+
+    def summary(self) -> dict:
+        """Violation counts per invariant plus totals, for reporting."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        return {
+            "violations": len(self.violations),
+            "by_invariant": counts,
+            "deliveries_checked": self.deliveries_checked,
+            "routing_checks": self.routing_checks,
+        }

@@ -1,0 +1,272 @@
+"""Declarative, reproducible chaos fault schedules.
+
+A :class:`FaultSchedule` is a plain, sorted tuple of :class:`Fault`
+records — *what* goes wrong, *when*, for *how long*, against *which*
+target — generated ahead of time from a :class:`ChaosSpec` and a seed.
+Separating schedule generation from application buys three properties the
+ad-hoc failure scripts scattered through the benchmarks never had:
+
+* **Reproducibility** — every fault family draws from its own named RNG
+  substream (via :class:`repro.sim.rng.RngRegistry`), so the same seed
+  over the same topology produces a byte-identical schedule regardless of
+  what else changed, and two runs of the same schedule produce identical
+  simulations.
+* **Shrinkability** — a failing chaos run can be minimized by re-running
+  with :meth:`FaultSchedule.without` / :meth:`FaultSchedule.between`
+  subsets until the smallest schedule that still reproduces the failure
+  remains.
+* **Composability** — schedules are just sorted fault tuples; merging two
+  of them (:meth:`FaultSchedule.merge`) is well-defined.
+
+The engine that applies a schedule to a live network lives in
+:mod:`repro.faults.chaos`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RngRegistry
+from repro.topology.graph import Topology
+
+#: Every fault kind a schedule may contain.
+FAULT_KINDS = ("flap", "gray", "burst", "crash", "churn", "partition")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: a kind, a start time, a duration, a target.
+
+    ``target`` is a tuple of node ids — ``(a, b)`` for link faults,
+    ``(n,)`` for node faults, and one whole partition side for
+    ``partition`` faults.  ``params`` holds kind-specific magnitudes as a
+    sorted tuple of ``(name, value)`` pairs so the record hashes and
+    compares canonically.
+    """
+
+    start: float
+    kind: str
+    target: Tuple
+    duration: float
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def param(self, name: str, default: float = 0.0) -> float:
+        """Look up one parameter by name (``default`` when absent)."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def describe(self) -> str:
+        """Canonical single-line rendering (used for byte-identity checks)."""
+        target = ",".join(str(t) for t in self.target)
+        params = " ".join(f"{k}={v:.6f}" for k, v in self.params)
+        line = f"{self.start:012.6f} +{self.duration:09.6f} {self.kind:<9} [{target}]"
+        return f"{line} {params}".rstrip()
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Intensity knobs for schedule generation.
+
+    Every ``*_rate`` is a Poisson arrival rate in events per second over
+    the whole network; the paired range tuples bound per-event magnitudes
+    drawn uniformly.  A rate of zero disables that fault family.
+    """
+
+    duration: float
+    # Link flaps: take a random link down, restore it after a downtime.
+    flap_rate: float = 0.0
+    flap_downtime: Tuple[float, float] = (0.5, 8.0)
+    # Gray failures: silent extra loss/delay on one link, link stays "up".
+    gray_rate: float = 0.0
+    gray_duration: Tuple[float, float] = (5.0, 30.0)
+    gray_extra_loss: Tuple[float, float] = (0.05, 0.6)
+    gray_extra_delay: Tuple[float, float] = (0.0, 0.2)
+    # Correlated loss bursts: heavy loss on *all* links of one node.
+    burst_rate: float = 0.0
+    burst_duration: Tuple[float, float] = (0.5, 3.0)
+    burst_extra_loss: Tuple[float, float] = (0.5, 0.95)
+    # Crash/restart with state loss.
+    crash_rate: float = 0.0
+    crash_downtime: Tuple[float, float] = (2.0, 15.0)
+    # Churn: rapid crash/restart cycles (short downtime).
+    churn_rate: float = 0.0
+    churn_downtime: Tuple[float, float] = (0.2, 1.5)
+    # Network partitions: cut a random bipartition, heal it later.
+    partition_rate: float = 0.0
+    partition_duration: Tuple[float, float] = (2.0, 10.0)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        for name in (
+            "flap_rate", "gray_rate", "burst_rate",
+            "crash_rate", "churn_rate", "partition_rate",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        for name in (
+            "flap_downtime", "gray_duration", "gray_extra_loss",
+            "gray_extra_delay", "burst_duration", "burst_extra_loss",
+            "crash_downtime", "churn_downtime", "partition_duration",
+        ):
+            lo, hi = getattr(self, name)
+            if not 0 <= lo <= hi:
+                raise ConfigurationError(f"{name} must satisfy 0 <= lo <= hi")
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def link_level(cls, duration: float, intensity: float = 1.0) -> "ChaosSpec":
+        """Link-layer chaos only (no node state loss): flaps, gray
+        failures, and loss bursts.  Safe to combine with invariant
+        checkers that assume nodes keep their soft state (e.g. the Turret
+        exactly-once checks)."""
+        return cls(
+            duration=duration,
+            flap_rate=0.02 * intensity,
+            gray_rate=0.015 * intensity,
+            burst_rate=0.01 * intensity,
+        )
+
+    @classmethod
+    def full(cls, duration: float, intensity: float = 1.0) -> "ChaosSpec":
+        """Everything at once: link chaos plus crashes, churn, and
+        partitions — the hostile-underlay soak configuration."""
+        return cls(
+            duration=duration,
+            flap_rate=0.02 * intensity,
+            gray_rate=0.015 * intensity,
+            burst_rate=0.01 * intensity,
+            crash_rate=0.008 * intensity,
+            churn_rate=0.005 * intensity,
+            partition_rate=0.002 * intensity,
+        )
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, topology: Topology, seed: int = 0) -> "FaultSchedule":
+        """Draw a schedule over ``topology`` from seeded substreams.
+
+        Each fault family uses its own named stream, so enabling one
+        family never perturbs the draws of another: the crash schedule at
+        seed 7 is the same whether or not flaps are also enabled.
+        """
+        rngs = RngRegistry(seed)
+        nodes = sorted(topology.nodes, key=str)
+        edges = sorted(topology.edges(), key=lambda e: (str(e[0]), str(e[1])))
+        faults: List[Fault] = []
+
+        def arrivals(kind: str, rate: float) -> Iterator[Tuple[float, object]]:
+            if rate <= 0 or (kind in ("flap", "gray") and not edges):
+                return
+            rng = rngs.stream(f"chaos:{kind}")
+            t = rng.expovariate(rate)
+            while t < self.duration:
+                yield t, rng
+                t += rng.expovariate(rate)
+
+        def uniform(rng, bounds: Tuple[float, float]) -> float:
+            lo, hi = bounds
+            return lo if hi <= lo else rng.uniform(lo, hi)
+
+        for t, rng in arrivals("flap", self.flap_rate):
+            a, b = rng.choice(edges)
+            faults.append(Fault(t, "flap", (a, b), uniform(rng, self.flap_downtime)))
+        for t, rng in arrivals("gray", self.gray_rate):
+            a, b = rng.choice(edges)
+            faults.append(Fault(
+                t, "gray", (a, b), uniform(rng, self.gray_duration),
+                params=(
+                    ("extra_delay", uniform(rng, self.gray_extra_delay)),
+                    ("extra_loss", uniform(rng, self.gray_extra_loss)),
+                ),
+            ))
+        for t, rng in arrivals("burst", self.burst_rate):
+            node = rng.choice(nodes)
+            faults.append(Fault(
+                t, "burst", (node,), uniform(rng, self.burst_duration),
+                params=(("extra_loss", uniform(rng, self.burst_extra_loss)),),
+            ))
+        for t, rng in arrivals("crash", self.crash_rate):
+            node = rng.choice(nodes)
+            faults.append(Fault(t, "crash", (node,), uniform(rng, self.crash_downtime)))
+        for t, rng in arrivals("churn", self.churn_rate):
+            node = rng.choice(nodes)
+            faults.append(Fault(t, "churn", (node,), uniform(rng, self.churn_downtime)))
+        for t, rng in arrivals("partition", self.partition_rate):
+            side_size = rng.randrange(1, max(2, len(nodes) // 2 + 1))
+            side = tuple(sorted(rng.sample(nodes, side_size), key=str))
+            faults.append(Fault(
+                t, "partition", side, uniform(rng, self.partition_duration)
+            ))
+
+        return FaultSchedule(seed=seed, duration=self.duration, faults=tuple(
+            sorted(faults, key=lambda f: (f.start, f.kind, tuple(map(str, f.target))))
+        ))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A sorted, immutable sequence of faults plus its provenance."""
+
+    seed: int
+    duration: float
+    faults: Tuple[Fault, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def describe(self) -> str:
+        """Canonical multi-line rendering; byte-identical for equal
+        (spec, topology, seed) triples."""
+        header = f"# chaos schedule seed={self.seed} duration={self.duration:.6f}s " \
+                 f"faults={len(self.faults)}"
+        return "\n".join([header, *(f.describe() for f in self.faults)])
+
+    # ------------------------------------------------------------------
+    # Shrinking / composition
+    # ------------------------------------------------------------------
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with the ``index``-th fault removed (for shrinking)."""
+        kept = self.faults[:index] + self.faults[index + 1:]
+        return FaultSchedule(self.seed, self.duration, kept)
+
+    def between(self, t0: float, t1: float) -> "FaultSchedule":
+        """Only the faults starting inside ``[t0, t1)`` (for shrinking)."""
+        kept = tuple(f for f in self.faults if t0 <= f.start < t1)
+        return FaultSchedule(self.seed, self.duration, kept)
+
+    def only(self, *kinds: str) -> "FaultSchedule":
+        """Only the faults of the given kinds (for shrinking)."""
+        kept = tuple(f for f in self.faults if f.kind in kinds)
+        return FaultSchedule(self.seed, self.duration, kept)
+
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Union of two schedules, re-sorted; keeps this schedule's seed."""
+        merged = tuple(sorted(
+            self.faults + other.faults,
+            key=lambda f: (f.start, f.kind, tuple(map(str, f.target))),
+        ))
+        return FaultSchedule(
+            self.seed, max(self.duration, other.duration), merged
+        )
+
+    def counts(self) -> dict:
+        """Number of scheduled faults per kind (zero-filled)."""
+        out = {kind: 0 for kind in FAULT_KINDS}
+        for fault in self.faults:
+            out[fault.kind] = out.get(fault.kind, 0) + 1
+        return out

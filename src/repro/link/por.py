@@ -205,6 +205,9 @@ class PorEndpoint:
         self._established = False
         self._link_key: Optional[bytes] = None
         self._dh: Optional[DiffieHellman] = None
+        self._handshake_timer: Optional[EventHandle] = None
+        self._handshake_attempts = 0
+        self._handshake_responder = False
 
         # Sender state.
         self.epoch = 0
@@ -243,11 +246,38 @@ class PorEndpoint:
         self._link_key = self.pki.link_secret(self.node_id, self.peer_id)
         self._established = True
 
+    #: Give up re-offering the handshake after this many attempts; the
+    #: peer (or a node restart) can always start a fresh exchange.
+    MAX_HANDSHAKE_ATTEMPTS = 12
+
     def start_handshake(self) -> None:
-        """Send the signed Diffie-Hellman half of the handshake."""
+        """Send the signed Diffie-Hellman half of the handshake.
+
+        The offer is re-sent with exponential backoff until the exchange
+        completes, so a handshake that races a link failure (or whose
+        packet is simply lost) still establishes once the link heals.
+        """
         self._dh = DiffieHellman.from_seed(
             f"{self.pki.mode.value}:{self.node_id}->{self.peer_id}".encode("utf-8")
         )
+        self._handshake_attempts = 0
+        self._offer_handshake()
+
+    def _offer_handshake(self) -> None:
+        self._handshake_timer = None
+        if self._established or self._dh is None:
+            return
+        if self._handshake_attempts >= self.MAX_HANDSHAKE_ATTEMPTS:
+            return
+        self._handshake_attempts += 1
+        self._send_handshake_offer()
+        retry = min(
+            self.config.initial_rto * (2 ** (self._handshake_attempts - 1)),
+            self.config.max_rto,
+        )
+        self._handshake_timer = self.sim.schedule(retry, self._offer_handshake)
+
+    def _send_handshake_offer(self) -> None:
         public = self._dh.encode_public()
         signature = self.pki.identity(self.node_id).sign(("dh", self.node_id, public))
         msg = PorHandshake(self.node_id, public, signature)
@@ -537,10 +567,24 @@ class PorEndpoint:
             self.macs_rejected += 1
             return
         if self._dh is None:
+            # We are the responder: answer the offer with our own half.
+            self._handshake_responder = True
             self.start_handshake()
+        elif self._established and self._handshake_responder:
+            # A retransmitted offer means our answering half was lost in
+            # flight; re-send it.  Only the responder does this (the
+            # initiator re-offers from its own timer), so two established
+            # endpoints can never ping-pong handshakes at each other.
+            self._send_handshake_offer()
         peer_public = int.from_bytes(msg.dh_public, "big")
         self._link_key = self._dh.compute_shared(peer_public)
+        already_established = self._established
         self._established = True
+        if self._handshake_timer is not None:
+            self._handshake_timer.cancel()
+            self._handshake_timer = None
+        if already_established:
+            return  # a retransmitted offer; key is unchanged
         if self.on_ready is not None:
             self.sim.call_soon(self.on_ready)
 

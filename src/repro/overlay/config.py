@@ -104,6 +104,19 @@ class OverlayConfig:
     routing_update_rate: float = 10.0
     routing_update_burst: int = 20
 
+    # Liveness probing and link quarantine (self-healing).  A link whose
+    # neighbor goes silent past ``hello_timeout`` is *quarantined*: it is
+    # reported failed to the link-state layer and regular hellos stop;
+    # instead the node probes it with exponential backoff + jitter.  Once
+    # the neighbor is heard again the link enters *probation* and is only
+    # reinstated after staying healthy for ``quarantine_probation``
+    # seconds, so a flapping link cannot churn everyone's routing tables.
+    probe_backoff_initial: float = 1.0
+    probe_backoff_factor: float = 2.0
+    probe_backoff_max: float = 4.0
+    probe_jitter: float = 0.2
+    quarantine_probation: float = 2.0
+
     # Naïve-flooding baseline (Table IV / Figure 4a): disable the
     # constrained-flooding optimizations so messages traverse every edge
     # in both directions.
@@ -126,3 +139,15 @@ class OverlayConfig:
             raise ConfigurationError("neighbor_ack_delay must be >= 0")
         if self.hello_timeout <= self.hello_interval:
             raise ConfigurationError("hello_timeout must exceed hello_interval")
+        if self.probe_backoff_initial <= 0:
+            raise ConfigurationError("probe_backoff_initial must be positive")
+        if self.probe_backoff_factor < 1.0:
+            raise ConfigurationError("probe_backoff_factor must be >= 1")
+        if self.probe_backoff_max < self.probe_backoff_initial:
+            raise ConfigurationError(
+                "probe_backoff_max must be >= probe_backoff_initial"
+            )
+        if not 0.0 <= self.probe_jitter < 1.0:
+            raise ConfigurationError("probe_jitter must be in [0, 1)")
+        if self.quarantine_probation < 0:
+            raise ConfigurationError("quarantine_probation must be >= 0")

@@ -218,6 +218,33 @@ class OverlayNetwork:
         for channel in self._link_channels(a, b):
             channel.restore()
 
+    def impair_link(
+        self, a: NodeId, b: NodeId, extra_loss: float = 0.0, extra_delay: float = 0.0
+    ) -> None:
+        """Install a gray failure on the (a, b) link in both directions:
+        the link stays nominally up but silently drops ``extra_loss`` of
+        its packets and adds ``extra_delay`` propagation.  Passing zeros
+        heals the link (see :meth:`clear_link_impairment`)."""
+        for channel in self._link_channels(a, b):
+            channel.set_impairment(extra_loss=extra_loss, extra_delay=extra_delay)
+
+    def clear_link_impairment(self, a: NodeId, b: NodeId) -> None:
+        """Heal any gray failure on the (a, b) link."""
+        for channel in self._link_channels(a, b):
+            channel.clear_impairment()
+
+    def quarantined_links(self) -> Dict[NodeId, list]:
+        """Which neighbors each (non-crashed) node currently quarantines.
+        Nodes with no quarantined links are omitted."""
+        out: Dict[NodeId, list] = {}
+        for node_id, node in self.nodes.items():
+            if node.crashed:
+                continue
+            quarantined = node.quarantined_neighbors()
+            if quarantined:
+                out[node_id] = quarantined
+        return out
+
     def _link_channels(self, a: NodeId, b: NodeId) -> Tuple[Channel, Channel]:
         try:
             return self.channels[(a, b)], self.channels[(b, a)]

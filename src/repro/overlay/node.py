@@ -15,6 +15,7 @@ transmission exactly as in Section V-C.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
@@ -83,12 +84,21 @@ class LinkSender:
         self.reliable = ReliableLinkState(node.config.reliable_buffer)
         self._serve_reliable_next = False
         self._pump_event: Optional[EventHandle] = None
-        # Link monitoring.
+        # Link monitoring / quarantine state.  ``monitor_up`` False means
+        # the link is quarantined: reported failed to routing, regular
+        # hellos replaced by backoff probes until probation completes.
         self.monitor_up = True
         self.last_heard: float = node.sim.now
+        self.quarantined_at: Optional[float] = None
+        self.probation_since: Optional[float] = None
+        self.probe_interval: float = node.config.probe_backoff_initial
+        self._probe_event: Optional[EventHandle] = None
         # Observability.
         self.data_transmissions = 0
         self.control_transmissions = 0
+        self.probes_sent = 0
+        self.quarantine_count = 0
+        self.reinstatements = 0
 
         por.on_deliver = self._on_deliver
         por.on_ready = self.pump
@@ -101,6 +111,26 @@ class LinkSender:
     def _on_hello(self, hello: Any) -> None:
         if isinstance(hello, Hello) and hello.sender == self.neighbor:
             self.last_heard = self.node.sim.now
+            if not self.monitor_up:
+                # Heard a quarantined neighbor: probe eagerly again and
+                # start (or continue) the probation clock.
+                self.probe_interval = self.node.config.probe_backoff_initial
+                if self.probation_since is None:
+                    self.probation_since = self.last_heard
+                    # The pending probe may still sit at the backed-off
+                    # interval; re-arm it so the peer hears us promptly.
+                    self.node._schedule_probe(self)
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether this link is currently quarantined by the local monitor."""
+        return not self.monitor_up
+
+    def cancel_probe(self) -> None:
+        """Cancel any scheduled liveness probe (used on teardown)."""
+        if self._probe_event is not None:
+            self._probe_event.cancel()
+            self._probe_event = None
 
     def enqueue_control(self, payload: Any, size: int, raw: bool = False) -> None:
         """Queue a control payload.  ``raw=True`` bypasses the Byzantine
@@ -203,6 +233,11 @@ class OverlayNode:
         self.behavior: Behavior = HonestBehavior()
         self.crashed = False
         self.on_deliver: Optional[Callable[[Message], None]] = None
+        #: Instrumentation taps (e.g. the chaos InvariantMonitor): called
+        #: as ``observer(message, node)`` on every local delivery, before
+        #: the application's ``on_deliver``.
+        self.delivery_observers: list = []
+        self._probe_rng = sim.rngs.stream(f"probe:{node_id}")
 
         self.non_neighbor_rejected = 0
         self._priority_seq = 0
@@ -245,6 +280,11 @@ class OverlayNode:
             update_burst=self.config.routing_update_burst,
         )
         self.reliable.refresh_membership()
+        # The rebuilt routing view forgot our own failure reports; links
+        # still under quarantine must stay excluded from routing.
+        for neighbor, link in self.links.items():
+            if not link.monitor_up and self.mtmw.are_neighbors(self.node_id, neighbor):
+                self._issue_link_update(neighbor, FAILED_WEIGHT)
         size = mtmw_wire_size(candidate, self.pki.signature_wire_size)
         for neighbor, link in self.links.items():
             if neighbor != from_neighbor:
@@ -267,7 +307,11 @@ class OverlayNode:
 
     def start(self) -> None:
         """Arm periodic timers (phase-staggered per node id)."""
-        phase = (hash(str(self.node_id)) % 1000) / 1000.0
+        # A stable digest, not hash(): the built-in string hash is
+        # randomized per process, which made runs differ across
+        # invocations of the same seed.
+        digest = hashlib.sha256(str(self.node_id).encode()).digest()
+        phase = (int.from_bytes(digest[:8], "big") % 1000) / 1000.0
         if self.config.e2e_acks_enabled:
             self._e2e_timer.start(phase=phase * self.config.e2e_ack_timeout)
         self._hello_timer.start(phase=phase * self.config.hello_interval)
@@ -502,6 +546,8 @@ class OverlayNode:
         self.stats.series(f"priority-count:{flow_name}:{message.priority}").record(
             self.sim.now, 1.0
         )
+        for observer in self.delivery_observers:
+            observer(message, self)
         if self.on_deliver is not None:
             self.on_deliver(message)
 
@@ -518,7 +564,10 @@ class OverlayNode:
         self._hello_stamp += 1
         hello = Hello(self.node_id, self._hello_stamp)
         for neighbor, link in self.links.items():
-            if self.mtmw.are_neighbors(self.node_id, neighbor):
+            # Quarantined links are served by their backoff probe loop
+            # instead of the regular beacon — a dead neighbor shouldn't
+            # cost full hello bandwidth forever.
+            if link.monitor_up and self.mtmw.are_neighbors(self.node_id, neighbor):
                 link.por.send_hello(hello, Hello.WIRE_SIZE)
         self._check_link_liveness()
         self.reliable.check_stalls()
@@ -529,14 +578,81 @@ class OverlayNode:
             if not self.mtmw.are_neighbors(self.node_id, neighbor):
                 continue  # administratively removed from the topology
             alive = (now - link.last_heard) <= self.config.hello_timeout
-            if link.monitor_up and not alive:
-                link.monitor_up = False
-                self._issue_link_update(neighbor, FAILED_WEIGHT)
-            elif not link.monitor_up and alive:
-                link.monitor_up = True
-                self._issue_link_update(
-                    neighbor, self.mtmw.min_weight(self.node_id, neighbor)
-                )
+            if link.monitor_up:
+                if not alive:
+                    self._quarantine_link(neighbor, link)
+            elif not alive:
+                # Went silent again during probation; restart the clock.
+                link.probation_since = None
+            elif (
+                link.probation_since is not None
+                and now - link.probation_since >= self.config.quarantine_probation
+            ):
+                self._reinstate_link(neighbor, link)
+
+    def _quarantine_link(self, neighbor: NodeId, link: LinkSender) -> None:
+        """Mark a silent link failed and switch to backoff probing."""
+        link.monitor_up = False
+        link.quarantined_at = self.sim.now
+        link.probation_since = None
+        link.probe_interval = self.config.probe_backoff_initial
+        link.quarantine_count += 1
+        self.stats.counter("link_quarantines").add()
+        self._issue_link_update(neighbor, FAILED_WEIGHT)
+        self._schedule_probe(link)
+
+    def _reinstate_link(self, neighbor: NodeId, link: LinkSender) -> None:
+        """Probation passed: restore the link's weight and resume service."""
+        if link.quarantined_at is not None:
+            self.stats.series("link-quarantine-seconds").record(
+                self.sim.now, self.sim.now - link.quarantined_at
+            )
+        link.monitor_up = True
+        link.quarantined_at = None
+        link.probation_since = None
+        link.probe_interval = self.config.probe_backoff_initial
+        link.cancel_probe()
+        link.reinstatements += 1
+        self.stats.counter("link_reinstatements").add()
+        self._issue_link_update(
+            neighbor, self.mtmw.min_weight(self.node_id, neighbor)
+        )
+        # Beacon immediately: the peer's probation clock should not have
+        # to wait out our next hello tick.
+        self._hello_stamp += 1
+        link.por.send_hello(Hello(self.node_id, self._hello_stamp), Hello.WIRE_SIZE)
+        link.pump()
+
+    def _schedule_probe(self, link: LinkSender) -> None:
+        link.cancel_probe()
+        jitter = 1.0 + self.config.probe_jitter * (2.0 * self._probe_rng.random() - 1.0)
+        link._probe_event = self.sim.schedule(
+            link.probe_interval * jitter, self._probe_link, link.neighbor
+        )
+
+    def _probe_link(self, neighbor: NodeId) -> None:
+        link = self.links.get(neighbor)
+        if link is None:
+            return
+        link._probe_event = None
+        if self.crashed or link.monitor_up:
+            return
+        if not self.mtmw.are_neighbors(self.node_id, neighbor):
+            return  # administratively removed; stop probing
+        self._hello_stamp += 1
+        link.por.send_hello(Hello(self.node_id, self._hello_stamp), Hello.WIRE_SIZE)
+        link.probes_sent += 1
+        link.probe_interval = min(
+            link.probe_interval * self.config.probe_backoff_factor,
+            self.config.probe_backoff_max,
+        )
+        self._schedule_probe(link)
+
+    def quarantined_neighbors(self) -> list:
+        """Neighbors whose link this node currently holds in quarantine."""
+        return [
+            neighbor for neighbor, link in self.links.items() if not link.monitor_up
+        ]
 
     def _issue_link_update(self, neighbor: NodeId, weight: float) -> None:
         self._ls_seqno += 1
@@ -558,6 +674,7 @@ class OverlayNode:
             link.control.clear()
             link.priority_queue = PriorityLinkQueue(self.config.priority_queue_capacity)
             link.reliable = ReliableLinkState(self.config.reliable_buffer)
+            link.cancel_probe()
 
     def recover(self) -> None:
         """Restart: reset link sessions and ask neighbors for state."""
@@ -565,6 +682,11 @@ class OverlayNode:
         for link in self.links.values():
             link.por.reset()
             link.last_heard = self.sim.now
+            if not link.monitor_up:
+                # Resume the probe loop for links quarantined before the
+                # crash; probation will reinstate them once healthy.
+                link.probe_interval = self.config.probe_backoff_initial
+                self._schedule_probe(link)
             request = StateRequest(self.node_id)
             link.enqueue_control(request, StateRequest.WIRE_SIZE)
             link.pump()

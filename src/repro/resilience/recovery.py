@@ -56,18 +56,35 @@ class ProactiveRecovery:
         self.recoveries_completed = 0
         self.compromises_cleaned = 0
         self._running = False
+        self._next_event = None
+        self._restore_events: Dict[NodeId, object] = {}
 
     def start(self) -> None:
         """Begin the staggered recovery schedule."""
         self._running = True
-        self.network.sim.schedule(self.period / len(self._order), self._take_down_next)
+        self._next_event = self.network.sim.schedule(
+            self.period / len(self._order), self._take_down_next
+        )
 
     def stop(self) -> None:
-        """Halt the recovery schedule (an in-flight restore still completes)."""
+        """Halt the recovery schedule.
+
+        The queued take-down event is cancelled (not left to fire as a
+        no-op), and any node currently down for reinstall is restored
+        immediately — stopping the scheduler must never strand a node in
+        its crashed state.
+        """
         self._running = False
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        for node_id in sorted(self._restore_events, key=str):
+            self._restore_events[node_id].cancel()
+            self._restore(node_id)
 
     # ------------------------------------------------------------------
     def _take_down_next(self) -> None:
+        self._next_event = None
         if not self._running:
             return
         node_id = self._order[self._index % len(self._order)]
@@ -76,10 +93,15 @@ class ProactiveRecovery:
         if not isinstance(node.behavior, HonestBehavior):
             self.compromises_cleaned += 1
         self.network.crash(node_id)
-        self.network.sim.schedule(self.downtime, self._restore, node_id)
-        self.network.sim.schedule(self.period / len(self._order), self._take_down_next)
+        self._restore_events[node_id] = self.network.sim.schedule(
+            self.downtime, self._restore, node_id
+        )
+        self._next_event = self.network.sim.schedule(
+            self.period / len(self._order), self._take_down_next
+        )
 
     def _restore(self, node_id: NodeId) -> None:
+        self._restore_events.pop(node_id, None)
         node = self.network.node(node_id)
         # Restored from a clean state with a never-used variant build.
         family, _ = self.current_variant[node_id]

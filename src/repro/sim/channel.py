@@ -86,6 +86,9 @@ class Channel:
         self._last_delivery = 0.0
         self._rng = sim.rngs.stream(f"channel:{name}")
         self._up = True
+        # Gray-failure impairment: silent extra loss/delay while nominally up.
+        self._extra_loss = 0.0
+        self._extra_delay = 0.0
         # Observability counters.
         self.packets_sent = 0
         self.packets_lost = 0
@@ -108,6 +111,30 @@ class Channel:
         self._up = True
 
     # ------------------------------------------------------------------
+    # Gray failures (used by the chaos fault-injection engine)
+    # ------------------------------------------------------------------
+    @property
+    def impaired(self) -> bool:
+        return self._extra_loss > 0.0 or self._extra_delay > 0.0
+
+    def set_impairment(self, extra_loss: float = 0.0, extra_delay: float = 0.0) -> None:
+        """Install a gray failure: the channel stays *up* but silently
+        drops an extra ``extra_loss`` fraction of packets and adds
+        ``extra_delay`` seconds of propagation.  Replaces any previous
+        impairment; use :meth:`clear_impairment` to heal."""
+        if not 0.0 <= extra_loss < 1.0:
+            raise ConfigurationError(f"extra_loss must be in [0, 1) (got {extra_loss})")
+        if extra_delay < 0:
+            raise ConfigurationError(f"extra_delay must be >= 0 (got {extra_delay})")
+        self._extra_loss = extra_loss
+        self._extra_delay = extra_delay
+
+    def clear_impairment(self) -> None:
+        """Heal a gray failure."""
+        self._extra_loss = 0.0
+        self._extra_delay = 0.0
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def time_until_idle(self) -> float:
@@ -126,13 +153,16 @@ class Channel:
         self.packets_sent += 1
         self.bytes_sent += size_bytes
 
-        if not self._up or (
-            self.config.loss_rate > 0.0 and self._rng.random() < self.config.loss_rate
-        ):
+        lost = not self._up
+        if not lost and self.config.loss_rate > 0.0:
+            lost = self._rng.random() < self.config.loss_rate
+        if not lost and self._extra_loss > 0.0:
+            lost = self._rng.random() < self._extra_loss
+        if lost:
             self.packets_lost += 1
             return
 
-        delay = self.config.latency
+        delay = self.config.latency + self._extra_delay
         if self.config.jitter > 0.0:
             delay += self._rng.random() * self.config.jitter
         arrival = self._busy_until + delay

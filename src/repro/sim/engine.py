@@ -23,7 +23,7 @@ from repro.sim.rng import RngRegistry
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "on_cancel")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
         self.time = time
@@ -31,13 +31,20 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Set by the owning simulator so it can keep an exact count of
+        #: dead entries still sitting in its heap.
+        self.on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
         """Cancel the event; a cancelled event is skipped by the engine."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled-but-queued events don't pin memory.
         self.callback = _noop
         self.args = ()
+        if self.on_cancel is not None:
+            self.on_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -63,11 +70,16 @@ class Simulator:
         byte-identical histories.
     """
 
+    #: Don't bother compacting tiny queues: below this size a sweep costs
+    #: more bookkeeping than the dead entries do.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self, seed: int = 0):
         self._now = 0.0
         self._queue: List[EventHandle] = []
         self._seq = 0
         self._events_run = 0
+        self._cancelled = 0
         self._running = False
         self.rngs = RngRegistry(seed)
 
@@ -96,8 +108,26 @@ class Simulator:
             )
         self._seq += 1
         handle = EventHandle(time, self._seq, callback, args)
+        handle.on_cancel = self._note_cancel
         heapq.heappush(self._queue, handle)
         return handle
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        # Long soaks (chaos schedules, probe backoff timers) cancel far
+        # more events than they run; once dead entries dominate the heap,
+        # sweep them so memory and pop costs stay proportional to live work.
+        if (
+            self._cancelled * 2 > len(self._queue)
+            and len(self._queue) >= self.COMPACT_MIN_QUEUE
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap and re-heapify."""
+        self._queue = [handle for handle in self._queue if not handle.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback`` at the current time (after pending same-time events)."""
@@ -130,6 +160,7 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled -= 1
                     continue
                 if until is not None and head.time > until:
                     break
@@ -151,8 +182,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return len(self._queue)
+        """Number of live (non-cancelled) queued events."""
+        return len(self._queue) - self._cancelled
 
     @property
     def events_run(self) -> int:

@@ -19,6 +19,9 @@ import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
 from repro.byzantine.attacks import SaturationFlow
+from repro.faults.chaos import ChaosEngine
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.schedule import ChaosSpec, FaultSchedule
 from repro.messaging.message import Semantics
 from repro.overlay.config import DisseminationMethod, OverlayConfig
 from repro.overlay.network import OverlayNetwork
@@ -64,10 +67,13 @@ class Deployment:
     ):
         self.topology = topology or global_cloud.topology()
         self.config = config or OverlayConfig(link_bandwidth_bps=SCALED_LINK_BPS)
+        self.seed = seed
         self.network = OverlayNetwork.build(self.topology, self.config, seed=seed)
         self.link_capacity_bps = self.config.link_bandwidth_bps or SCALED_LINK_BPS
         self.traffic: List[CbrTraffic] = []
         self.attacks: List[SaturationFlow] = []
+        self.chaos: Optional[ChaosEngine] = None
+        self.monitor: Optional[InvariantMonitor] = None
 
     # ------------------------------------------------------------------
     @property
@@ -132,6 +138,29 @@ class Deployment:
         attack.schedule(start_at, stop_at)
         self.attacks.append(attack)
         return attack
+
+    # ------------------------------------------------------------------
+    # Chaos
+    # ------------------------------------------------------------------
+    def add_chaos(
+        self,
+        spec: ChaosSpec,
+        seed: Optional[int] = None,
+        monitor: bool = True,
+    ) -> FaultSchedule:
+        """Arm a chaos schedule (and, by default, the invariant monitor)
+        against this deployment.  The schedule seed defaults to the
+        deployment seed, so a deployment is chaos-reproducible from a
+        single number.  Returns the generated schedule."""
+        schedule = spec.generate(
+            self.topology, seed=self.seed if seed is None else seed
+        )
+        self.chaos = ChaosEngine(self.network, schedule)
+        self.chaos.arm()
+        if monitor:
+            self.monitor = InvariantMonitor(self.network)
+            self.monitor.arm()
+        return schedule
 
     # ------------------------------------------------------------------
     # Measurement

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.errors import ProtocolError
 from repro.overlay.config import DisseminationMethod
 from repro.overlay.network import OverlayNetwork
 from repro.topology.graph import NodeId
@@ -69,6 +70,10 @@ class MonitoringWorkload:
         self.explicit_routes = explicit_routes or {}
         self.running = False
         self.messages_sent = 0
+        #: Reports skipped because the reporter had no usable path to a
+        #: sink (e.g. it was partitioned off during a chaos run).  The
+        #: reporter stays scheduled and resumes once routing heals.
+        self.reports_shed = 0
         self._rng = network.sim.rngs.stream("monitoring-workload")
 
     def start(self) -> None:
@@ -99,16 +104,20 @@ class MonitoringWorkload:
         if not node.crashed:
             for sink in self.sinks:
                 route = self.explicit_routes.get((node_id, sink))
-                node.send_priority(
-                    sink,
-                    size_bytes=message_class.size_bytes,
-                    priority=message_class.priority,
-                    method=self.method,
-                    expire_after=3 * message_class.period,
-                    payload=message_class.name,
-                    explicit_paths=(tuple(route),) if route else None,
-                )
-                self.messages_sent += 1
+                try:
+                    node.send_priority(
+                        sink,
+                        size_bytes=message_class.size_bytes,
+                        priority=message_class.priority,
+                        method=self.method,
+                        expire_after=3 * message_class.period,
+                        payload=message_class.name,
+                        explicit_paths=(tuple(route),) if route else None,
+                    )
+                except ProtocolError:
+                    self.reports_shed += 1
+                else:
+                    self.messages_sent += 1
         delay = message_class.period * (
             1.0 + self.jitter * (self._rng.random() - 0.5)
         )

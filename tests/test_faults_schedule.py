@@ -1,0 +1,152 @@
+"""Unit tests for chaos schedule generation (repro.faults.schedule)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import FAULT_KINDS, ChaosSpec, Fault, FaultSchedule
+from repro.topology.generators import chordal_ring, clique
+
+
+def spec(duration=120.0, **kwargs):
+    defaults = dict(
+        flap_rate=0.05, gray_rate=0.04, burst_rate=0.03,
+        crash_rate=0.02, churn_rate=0.02, partition_rate=0.01,
+    )
+    defaults.update(kwargs)
+    return ChaosSpec(duration=duration, **defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        topo = chordal_ring(10)
+        one = spec().generate(topo, seed=42)
+        two = spec().generate(topo, seed=42)
+        assert one.describe() == two.describe()
+        assert one.faults == two.faults
+
+    def test_different_seeds_differ(self):
+        topo = chordal_ring(10)
+        one = spec().generate(topo, seed=1)
+        two = spec().generate(topo, seed=2)
+        assert one.describe() != two.describe()
+
+    def test_families_draw_from_independent_streams(self):
+        # Disabling one family must not perturb another's draws.
+        topo = chordal_ring(10)
+        full = spec().generate(topo, seed=7)
+        crashes_only = spec(
+            flap_rate=0.0, gray_rate=0.0, burst_rate=0.0,
+            churn_rate=0.0, partition_rate=0.0,
+        ).generate(topo, seed=7)
+        assert crashes_only.only("crash").faults == full.only("crash").faults
+
+    def test_rebuilt_topology_same_schedule(self):
+        one = spec().generate(chordal_ring(10), seed=3)
+        two = spec().generate(chordal_ring(10), seed=3)
+        assert one.describe() == two.describe()
+
+
+class TestScheduleContents:
+    def test_faults_sorted_by_start(self):
+        schedule = spec().generate(chordal_ring(10), seed=5)
+        starts = [f.start for f in schedule]
+        assert starts == sorted(starts)
+
+    def test_all_starts_within_duration(self):
+        schedule = spec(duration=60.0).generate(chordal_ring(10), seed=5)
+        assert all(0 <= f.start < 60.0 for f in schedule)
+        assert all(f.duration >= 0 for f in schedule)
+
+    def test_link_faults_target_real_edges(self):
+        topo = chordal_ring(10)
+        schedule = spec().generate(topo, seed=5)
+        for fault in schedule:
+            if fault.kind in ("flap", "gray"):
+                assert topo.has_edge(*fault.target)
+            elif fault.kind != "partition":
+                assert topo.has_node(fault.target[0])
+
+    def test_counts_cover_all_kinds(self):
+        schedule = spec(duration=600.0).generate(chordal_ring(10), seed=5)
+        counts = schedule.counts()
+        assert set(counts) == set(FAULT_KINDS)
+        assert sum(counts.values()) == len(schedule)
+        # At these rates over 10 minutes every family should appear.
+        assert all(counts[k] > 0 for k in FAULT_KINDS)
+
+    def test_zero_rates_empty_schedule(self):
+        schedule = ChaosSpec(duration=100.0).generate(chordal_ring(10), seed=5)
+        assert len(schedule) == 0
+        assert schedule.describe().startswith("# chaos schedule")
+
+    def test_fault_param_lookup(self):
+        fault = Fault(1.0, "gray", ("a", "b"), 2.0,
+                      params=(("extra_loss", 0.5),))
+        assert fault.param("extra_loss") == 0.5
+        assert fault.param("missing", 9.0) == 9.0
+        assert fault.end == 3.0
+
+
+class TestShrinking:
+    def test_without_removes_one_fault(self):
+        schedule = spec().generate(chordal_ring(10), seed=5)
+        assert len(schedule) > 2
+        smaller = schedule.without(0)
+        assert len(smaller) == len(schedule) - 1
+        assert smaller.faults == schedule.faults[1:]
+
+    def test_between_filters_window(self):
+        schedule = spec().generate(chordal_ring(10), seed=5)
+        window = schedule.between(10.0, 50.0)
+        assert all(10.0 <= f.start < 50.0 for f in window)
+
+    def test_only_filters_kinds(self):
+        schedule = spec().generate(chordal_ring(10), seed=5)
+        flaps = schedule.only("flap")
+        assert all(f.kind == "flap" for f in flaps)
+        assert len(flaps) == schedule.counts()["flap"]
+
+    def test_merge_is_sorted_union(self):
+        topo = chordal_ring(10)
+        a = spec(gray_rate=0, burst_rate=0, crash_rate=0, churn_rate=0,
+                 partition_rate=0).generate(topo, seed=5)
+        b = spec(flap_rate=0, burst_rate=0, gray_rate=0, churn_rate=0,
+                 partition_rate=0).generate(topo, seed=5)
+        merged = a.merge(b)
+        assert len(merged) == len(a) + len(b)
+        starts = [f.start for f in merged]
+        assert starts == sorted(starts)
+
+
+class TestPresetsAndValidation:
+    def test_link_level_preset_has_no_node_faults(self):
+        preset = ChaosSpec.link_level(duration=300.0, intensity=2.0)
+        schedule = preset.generate(chordal_ring(10), seed=1)
+        assert all(f.kind in ("flap", "gray", "burst") for f in schedule)
+
+    def test_full_preset_enables_every_family(self):
+        preset = ChaosSpec.full(duration=60.0)
+        assert preset.crash_rate > 0 and preset.partition_rate > 0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosSpec(duration=0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosSpec(duration=10.0, flap_rate=-1.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosSpec(duration=10.0, flap_downtime=(5.0, 1.0))
+
+    def test_partition_sides_are_proper_subsets(self):
+        topo = clique(6)
+        schedule = spec(duration=2000.0).generate(topo, seed=9)
+        for fault in schedule.only("partition"):
+            assert 0 < len(fault.target) < len(topo.nodes)
+
+    def test_empty_schedule_roundtrip(self):
+        empty = FaultSchedule(seed=0, duration=10.0)
+        assert list(empty) == []
+        assert empty.counts() == {k: 0 for k in FAULT_KINDS}

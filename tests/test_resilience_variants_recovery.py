@@ -165,3 +165,46 @@ class TestProactiveRecovery:
         count = recovery.recoveries_completed
         net.run(10.0)
         assert recovery.recoveries_completed <= count + 1  # in-flight restore only
+
+    def test_stop_cancels_queued_events(self):
+        net = OverlayNetwork.build(clique(4), FAST)
+        recovery = ProactiveRecovery(net, period=8.0, downtime=0.5)
+        recovery.start()
+        net.run(2.5)
+        recovery.stop()
+        # The queued take-down (and any queued restore) was cancelled, not
+        # left in the heap as a latent no-op.
+        assert recovery._next_event is None
+        assert recovery._restore_events == {}
+        after_count = recovery.recoveries_completed
+        net.run(20.0)
+        assert recovery.recoveries_completed == after_count
+
+    def test_stop_mid_downtime_restores_node_immediately(self):
+        net = OverlayNetwork.build(clique(4), FAST)
+        recovery = ProactiveRecovery(net, period=8.0, downtime=1.0)
+        recovery.start()
+        net.run(2.2)  # first node (id 1) was taken down at t=2.0
+        assert net.node(1).crashed
+        recovery.stop()
+        # stop() must never strand a node in its reinstall downtime.
+        assert not net.node(1).crashed
+        assert recovery.recoveries_completed == 1
+
+    def test_stop_before_start_is_harmless(self):
+        net = OverlayNetwork.build(clique(4), FAST)
+        recovery = ProactiveRecovery(net, period=8.0, downtime=0.5)
+        recovery.stop()
+        net.run(10.0)
+        assert recovery.recoveries_completed == 0
+
+    def test_restart_after_stop(self):
+        net = OverlayNetwork.build(clique(4), FAST)
+        recovery = ProactiveRecovery(net, period=8.0, downtime=0.5)
+        recovery.start()
+        net.run(2.5)
+        recovery.stop()
+        done = recovery.recoveries_completed
+        recovery.start()
+        net.run(8.5)
+        assert recovery.recoveries_completed > done

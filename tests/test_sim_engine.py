@@ -120,6 +120,69 @@ class TestScheduling:
         assert executed == sorted(delays)
 
 
+class TestPendingAndCompaction:
+    def test_pending_counts_live_events_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+        assert sim.pending == 6
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending == 4
+
+    def test_pending_after_cancelled_head_pops(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        sim.run(until=1.5)  # pops the cancelled head without running it
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_compaction_drops_cancelled_events(self):
+        sim = Simulator()
+        keep = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        doomed = [sim.schedule(100.0 + i, lambda: None) for i in range(200)]
+        for handle in doomed:
+            handle.cancel()
+        # Compaction swept the heap (repeatedly) while cancelled entries
+        # dominated; it stops once the queue shrinks below the floor, so a
+        # few dead entries may legitimately remain.
+        assert len(sim._queue) < sim.COMPACT_MIN_QUEUE
+        assert sim.pending == len(keep)
+        executed = sim.run()
+        assert executed == len(keep)
+
+    def test_small_queues_not_compacted(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        doomed = [sim.schedule(2.0 + i, lambda: None) for i in range(5)]
+        for handle in doomed:
+            handle.cancel()
+        # Below COMPACT_MIN_QUEUE the lazy-deletion heap is left alone.
+        assert len(sim._queue) == 6
+        assert sim.pending == 1
+
+    def test_execution_order_survives_compaction(self):
+        sim = Simulator()
+        order = []
+        for i in range(40):
+            sim.schedule(float(i), order.append, i)
+        doomed = [sim.schedule(1000.0 + i, lambda: None) for i in range(100)]
+        for handle in doomed:
+            handle.cancel()
+        sim.run()
+        assert order == list(range(40))
+
+
 class TestPeriodicTimer:
     def test_fires_at_interval(self):
         sim = Simulator()
