@@ -10,6 +10,7 @@ they appear in ``bench_output.txt``) and persisted under
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
@@ -38,6 +39,18 @@ class Reporter:
         self.line(fmt.format(*("-" * w for w in widths)))
         for row in rows:
             self.line(fmt.format(*(str(c) for c in row)))
+
+    def json_artifact(self, payload) -> pathlib.Path:
+        """Persist ``payload`` as ``results/BENCH_<name>.json``.
+
+        Rendered with sorted keys so registry-derived payloads (which are
+        deterministic for a seeded run) produce byte-identical artifacts
+        across runs — CI uploads these and diffs them between commits.
+        """
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{self.name}.json"
+        path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        return path
 
     def flush(self, capmanager=None) -> None:
         text = "\n".join([f"== {self.name} ==", *self.lines, ""])

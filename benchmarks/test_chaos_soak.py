@@ -58,6 +58,11 @@ def test_chaos_soak(benchmark, reporter):
     quarantine_seconds = network.stats.series("link-quarantine-seconds").values()
     quarantines = network.stats.counter("link_quarantines").value
     reinstatements = network.stats.counter("link_reinstatements").value
+    fault_counts = {
+        name.split(".", 2)[2]: value
+        for name, value in network.stats.counters().items()
+        if name.startswith("chaos.fault.")
+    }
     monitor = deployment.monitor
     engine = deployment.chaos
 
@@ -80,7 +85,33 @@ def test_chaos_soak(benchmark, reporter):
             f"over {len(quarantine_seconds)} reinstatement(s)"
         )
     reporter.line(monitor.report())
+    reporter.json_artifact(
+        {
+            "benchmark": "chaos_soak",
+            "seed": SEED,
+            "soak_seconds": SOAK_SECONDS,
+            "faults_applied": fault_counts,
+            "delivery": {
+                "delivered": delivered,
+                "sent": workload.messages_sent,
+                "ratio": ratio,
+                "shed": workload.reports_shed,
+            },
+            "self_healing": {
+                "quarantines": quarantines,
+                "reinstatements": reinstatements,
+                "mean_recovery_seconds": (
+                    sum(quarantine_seconds) / len(quarantine_seconds)
+                    if quarantine_seconds
+                    else None
+                ),
+            },
+            "invariants_ok": monitor.ok,
+        }
+    )
 
+    # The registry's fault accounting agrees with the engine's own.
+    assert fault_counts == {k: v for k, v in engine.counts.items() if v}
     # The chaos run exercised the self-healing machinery end to end.
     assert len(schedule) > 0
     assert quarantines >= 1

@@ -42,7 +42,18 @@ def run_protocol(semantics: Semantics, e2e_acks: bool = True, naive: bool = Fals
             )
         )
     ]
-    return aggregate, series
+    stats = deployment.network.stats
+    metrics = {
+        "aggregate_mbps": aggregate,
+        "dissemination_cost": deployment.dissemination_cost(),
+        "message_types": stats.message_type_snapshot(),
+        "counters": {
+            name: value
+            for name, value in stats.counters().items()
+            if name.startswith(("dissemination.", "messages_"))
+        },
+    }
+    return aggregate, series, metrics
 
 
 def test_fig4(benchmark, reporter):
@@ -66,7 +77,7 @@ def test_fig4(benchmark, reporter):
             f"{aggregate * SCALE:.1f}",
             f"{aggregate / link_mbps:.2f}",
         )
-        for name, (aggregate, _) in results.items()
+        for name, (aggregate, _, _) in results.items()
     ]
     reporter.table(
         ["protocol", "aggregate Mbps (scaled)", "paper-units Mbps", "x link capacity"],
@@ -74,9 +85,18 @@ def test_fig4(benchmark, reporter):
     )
     reporter.line("")
     reporter.line("goodput over time (Mbps, scaled, 1 s buckets):")
-    for name, (_, series) in results.items():
+    for name, (_, series, _) in results.items():
         head = " ".join(f"{v:4.1f}" for v in series[5:25])
         reporter.line(f"  {name:34s} {head}")
+    reporter.json_artifact(
+        {
+            "figure": "fig4",
+            "seed": 17,
+            "run_seconds": RUN_SECONDS,
+            "window": list(WINDOW),
+            "protocols": {name: metrics for name, (_, _, metrics) in results.items()},
+        }
+    )
 
     naive = results["Naive Flooding"][0]
     priority = results["Priority Flooding"][0]

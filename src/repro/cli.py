@@ -17,6 +17,11 @@ Commands
     Run a seeded chaos soak: a fault schedule (flaps, gray failures,
     bursts, crashes, churn, partitions) against the deployment with the
     invariant monitor armed; exit 1 on any violation.
+``stats``
+    Run a seeded workload and dump the full telemetry report (registry
+    counters, per-message-type bytes, crypto ops, per-flow goodput and
+    latency percentiles) as JSON or CSV.  Deterministic by default;
+    ``--profile`` adds wall-clock event-loop timing.
 """
 
 from __future__ import annotations
@@ -148,6 +153,52 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if monitor.ok else 1
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: run a seeded workload, dump the telemetry report."""
+    import json
+
+    from repro.messaging.message import Semantics
+    from repro.telemetry.report import build_report, to_csv
+    from repro.workloads.experiment import Deployment
+
+    semantics = Semantics(args.semantics)
+    deployment = Deployment(seed=args.seed)
+    if args.profile:
+        deployment.sim.enable_profiling()
+    if args.trace:
+        deployment.network.stats.metrics.trace.enable()
+    flows = global_cloud.EVALUATION_FLOWS[: args.flows]
+    for source, dest in flows:
+        deployment.add_flow(source, dest, rate_fraction=args.rate,
+                            semantics=semantics)
+    deployment.run(args.seconds)
+    report = build_report(
+        deployment,
+        flows,
+        window=(0.0, args.seconds),
+        params={
+            "seed": args.seed,
+            "seconds": args.seconds,
+            "flows": args.flows,
+            "rate": args.rate,
+            "semantics": semantics.value,
+        },
+        include_profile=args.profile,
+        include_trace=args.trace,
+    )
+    if args.format == "json":
+        rendered = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    else:
+        rendered = to_csv(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.format} report to {args.output}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -188,6 +239,24 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--print-schedule", action="store_true",
                        help="print the generated fault schedule")
     chaos.set_defaults(func=cmd_chaos)
+
+    stats = sub.add_parser("stats", help="run a workload, dump the telemetry report")
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--seconds", type=float, default=10.0)
+    stats.add_argument("--flows", type=int, default=3, choices=range(1, 6))
+    stats.add_argument("--rate", type=float, default=0.5)
+    stats.add_argument("--semantics", choices=["priority", "reliable"],
+                       default="priority")
+    stats.add_argument("--format", choices=["json", "csv"], default="json")
+    stats.add_argument("--output", default=None,
+                       help="write the report to a file instead of stdout")
+    stats.add_argument("--profile", action="store_true",
+                       help="include wall-clock event-loop profile "
+                            "(non-deterministic)")
+    stats.add_argument("--trace", action="store_true",
+                       help="enable sim-time event tracing and include "
+                            "the event summary")
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -74,8 +74,27 @@ class Pki:
         self._sim_secrets: Dict[Any, int] = {}
         self._sim_verifier = SimulatedVerifier(self._sim_secrets)
         self._identities: Dict[Any, Identity] = {}
+        # Crypto-op accounting (attach_metrics); None keeps the hot path
+        # to a single identity check per operation.
+        self._ops: Dict[str, Any] = None  # type: ignore[assignment]
         # The administrator exists in every PKI.
         self.register(ADMIN)
+
+    def attach_metrics(self, metrics: Any) -> None:
+        """Count every signature/MAC operation in ``metrics``.
+
+        ``metrics`` is a :class:`repro.telemetry.metrics.MetricsRegistry`
+        (duck-typed: anything with ``counter(name)``).  The counters —
+        ``crypto.sign``, ``crypto.verify``, ``crypto.mac_sign``,
+        ``crypto.mac_verify`` — count *logical* operations: in NONE mode
+        no work happens and nothing is counted.
+        """
+        self._ops = {
+            "sign": metrics.counter("crypto.sign"),
+            "verify": metrics.counter("crypto.verify"),
+            "mac_sign": metrics.counter("crypto.mac_sign"),
+            "mac_verify": metrics.counter("crypto.mac_verify"),
+        }
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -125,6 +144,8 @@ class Pki:
     def _sign(self, node_id: Any, fields: Tuple[Any, ...]):
         if self.mode is PkiMode.NONE:
             return None
+        if self._ops is not None:
+            self._ops["sign"].add()
         if self.mode is PkiMode.REAL:
             key = self._rsa_keys.get(node_id)
             if key is None:
@@ -137,6 +158,8 @@ class Pki:
         """Check that ``signature`` was produced by ``signer`` over ``fields``."""
         if self.mode is PkiMode.NONE:
             return True
+        if self._ops is not None:
+            self._ops["verify"].add()
         if signer not in self._identities:
             return False
         if self.mode is PkiMode.REAL:
@@ -172,13 +195,20 @@ class Pki:
         lo, hi = sorted((str(a), str(b)))
         return hashlib.sha256(f"{self._seed}:link:{lo}:{hi}".encode("utf-8")).digest()
 
-    def mac_tag(self, a: Any, b: Any, fields: Tuple[Any, ...]) -> int:
-        """Simulated link MAC under the (a, b) link secret."""
+    def _mac(self, a: Any, b: Any, fields: Tuple[Any, ...]) -> int:
         secret = int.from_bytes(self.link_secret(a, b)[:8], "big")
         return hash((secret, fields))
+
+    def mac_tag(self, a: Any, b: Any, fields: Tuple[Any, ...]) -> int:
+        """Simulated link MAC under the (a, b) link secret."""
+        if self._ops is not None:
+            self._ops["mac_sign"].add()
+        return self._mac(a, b, fields)
 
     def verify_mac_tag(self, a: Any, b: Any, fields: Tuple[Any, ...], tag: int) -> bool:
         """Verify a simulated link MAC tag under the (a, b) link secret."""
         if self.mode is PkiMode.NONE:
             return True
-        return tag == self.mac_tag(a, b, fields)
+        if self._ops is not None:
+            self._ops["mac_verify"].add()
+        return tag == self._mac(a, b, fields)

@@ -10,7 +10,7 @@ both directions (cost 2·|E|)."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Iterable, List, Optional
 
 from repro.topology.graph import NodeId
 
@@ -19,8 +19,21 @@ def flood_targets(
     neighbors: Iterable[NodeId],
     from_neighbor: Optional[NodeId],
     naive: bool = False,
+    metrics: Optional[Any] = None,
 ) -> List[NodeId]:
-    """Neighbors a newly received (or injected) message is forwarded to."""
+    """Neighbors a newly received (or injected) message is forwarded to.
+
+    When ``metrics`` (a :class:`repro.telemetry.metrics.MetricsRegistry`)
+    is supplied, ``dissemination.flood.calls`` and
+    ``dissemination.flood.fanout`` record how often flooding ran and how
+    many copies it produced — the numerator/denominator of the
+    per-message dissemination cost reported in Table IV.
+    """
     if naive:
-        return list(neighbors)
-    return [n for n in neighbors if n != from_neighbor]
+        targets = list(neighbors)
+    else:
+        targets = [n for n in neighbors if n != from_neighbor]
+    if metrics is not None:
+        metrics.counter("dissemination.flood.calls").add()
+        metrics.counter("dissemination.flood.fanout").add(len(targets))
+    return targets

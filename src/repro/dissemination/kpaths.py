@@ -10,7 +10,7 @@ misrouting) and is not forwarded.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.topology.graph import NodeId
 
@@ -21,6 +21,7 @@ def path_successors(
     node_id: NodeId,
     paths: Paths,
     from_neighbor: Optional[NodeId],
+    metrics: Optional[Any] = None,
 ) -> Tuple[List[NodeId], int]:
     """Next hops for a message at ``node_id``.
 
@@ -28,6 +29,10 @@ def path_successors(
     positions this node occupies that the message did not legitimately
     arrive through (from ``from_neighbor``; ``None`` means the node is the
     source).
+
+    When ``metrics`` is supplied, ``dissemination.kpaths.calls``,
+    ``.successors``, and ``.violations`` track forwarding decisions and
+    detected replay/misrouting across the whole deployment.
     """
     successors: List[NodeId] = []
     violations = 0
@@ -43,10 +48,17 @@ def path_successors(
                 continue
             if i + 1 < len(path):
                 successors.append(path[i + 1])
+    if metrics is not None:
+        metrics.counter("dissemination.kpaths.calls").add()
+        metrics.counter("dissemination.kpaths.successors").add(len(successors))
+        if violations:
+            metrics.counter("dissemination.kpaths.violations").add(violations)
     return successors, violations
 
 
-def path_targets(node_id: NodeId, paths: Paths) -> List[NodeId]:
+def path_targets(
+    node_id: NodeId, paths: Paths, metrics: Optional[Any] = None
+) -> List[NodeId]:
     """All next hops this node ever has on ``paths`` (arrival-agnostic).
 
     Used by Reliable Messaging, whose hop-by-hop cursors already bind a
@@ -58,4 +70,6 @@ def path_targets(node_id: NodeId, paths: Paths) -> List[NodeId]:
         for i, hop in enumerate(path):
             if hop == node_id and i + 1 < len(path):
                 targets.append(path[i + 1])
+    if metrics is not None:
+        metrics.counter("dissemination.kpaths.targets").add(len(targets))
     return targets

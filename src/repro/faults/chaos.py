@@ -95,6 +95,7 @@ class ChaosEngine:
     # ------------------------------------------------------------------
     def _begin(self, fault: Fault, index: int) -> None:
         self.counts[fault.kind] += 1
+        self.network.stats.counter(f"chaos.fault.{fault.kind}").add()
         if fault.kind == "flap":
             self._fail_edge(_edge(*fault.target))
         elif fault.kind == "gray":
@@ -215,6 +216,12 @@ class ChaosEngine:
         target = ",".join(str(t) for t in fault.target)
         self.applied.append(
             (self.network.sim.now, f"{phase} {fault.kind} [{target}]")
+        )
+        # Mirrored into the trace (sim-time events, deterministic) so a
+        # `repro stats --trace` dump interleaves faults with protocol
+        # activity without a separate chaos log.
+        self.network.stats.metrics.trace.event(
+            self.network.sim.now, f"chaos.{phase}", f"{fault.kind} [{target}]"
         )
 
     def summary(self) -> dict:

@@ -233,10 +233,29 @@ class PorEndpoint:
         self.bogus_acks_rejected = 0
         self.macs_rejected = 0
         self.duplicates_dropped = 0
+        #: Optional (mac_sign, mac_verify) telemetry counter pair — set by
+        #: :meth:`attach_mac_counters`; None keeps the hot path untouched.
+        self._mac_counters: Optional[Tuple[Any, Any]] = None
 
     # ------------------------------------------------------------------
     # Establishment
     # ------------------------------------------------------------------
+    def attach_mac_counters(self, metrics: Any) -> None:
+        """Count link MAC operations in ``metrics`` (a MetricsRegistry).
+
+        ``crypto.mac_sign`` / ``crypto.mac_verify`` count *logical*
+        operations — every packet the real system would MAC or check,
+        whether or not this run computes actual HMACs (SIMULATED mode
+        models their integrity effect for free).  Matches the PKI's
+        convention: NONE mode does no MAC work and counts nothing.
+        """
+        if self.pki.mode is PkiMode.NONE or not self.config.check_macs:
+            return
+        self._mac_counters = (
+            metrics.counter("crypto.mac_sign"),
+            metrics.counter("crypto.mac_verify"),
+        )
+
     def establish_out_of_band(self) -> None:
         """Install the PKI-derived link key without an on-wire handshake.
 
@@ -339,6 +358,8 @@ class PorEndpoint:
         packet = PorData(self.epoch, seq, record.nonce, record.payload, record.wire_size)
         if self._real_crypto:
             packet.mac = hmac_sha256(self._link_key, self._encode_for_mac(packet))
+        if self._mac_counters is not None:
+            self._mac_counters[0].add()
         record.last_sent = self.sim.now
         self.out_channel.send(packet, record.wire_size)
         self.data_sent += 1
@@ -409,6 +430,8 @@ class PorEndpoint:
     def _integrity_ok(self, packet: Any) -> bool:
         if packet.corrupted:
             return False
+        if self._mac_counters is not None:
+            self._mac_counters[1].add()
         if self._real_crypto:
             try:
                 verify_hmac(self._link_key, self._encode_for_mac(packet), packet.mac)
@@ -463,6 +486,8 @@ class PorEndpoint:
         )
         if self._real_crypto:
             ack.mac = hmac_sha256(self._link_key, self._encode_for_mac(ack))
+        if self._mac_counters is not None:
+            self._mac_counters[0].add()
         self.out_channel.send(ack, self.config.ack_size + 4 * len(missing))
         self.acks_sent += 1
 

@@ -274,11 +274,17 @@ class PriorityEngine:
         now = node.sim.now
         if message.flooding:
             targets = flood_targets(
-                node.links, from_neighbor, naive=node.config.naive_flooding
+                node.links,
+                from_neighbor,
+                naive=node.config.naive_flooding,
+                metrics=node.stats.metrics,
             )
         elif message.paths:
             targets, violations = path_successors(
-                node.node_id, message.paths, from_neighbor
+                node.node_id,
+                message.paths,
+                from_neighbor,
+                metrics=node.stats.metrics,
             )
             self.path_violations += violations
         else:

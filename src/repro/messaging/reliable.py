@@ -291,7 +291,13 @@ class ReliableEngine:
         node = self._node
         if state.flooding or not state.paths:
             return list(node.links)
-        return [n for n in path_targets(node.node_id, state.paths) if n in node.links]
+        return [
+            n
+            for n in path_targets(
+                node.node_id, state.paths, metrics=node.stats.metrics
+            )
+            if n in node.links
+        ]
 
     # ------------------------------------------------------------------
     # Link scheduler interface

@@ -99,11 +99,14 @@ class OverlayNetwork:
         """
         config = config or OverlayConfig()
         sim = Simulator(seed=seed)
+        stats = StatsRegistry(sim)
         pki = Pki(mode=config.crypto.pki_mode, seed=seed)
+        # Crypto ops (sign/verify/MAC) count into the same registry as
+        # protocol counters, so one snapshot describes the whole run.
+        pki.attach_metrics(stats.metrics)
         for node_id in topology.nodes:
             pki.register(node_id)
         mtmw = Mtmw.create(topology, pki)
-        stats = StatsRegistry(sim)
         nodes = {
             node_id: OverlayNode(sim, node_id, mtmw, pki, config, stats)
             for node_id in topology.nodes
@@ -123,6 +126,8 @@ class OverlayNetwork:
             end_a, end_b = connect_por_pair(
                 sim, a, b, ab, ba, pki, config=config.por
             )
+            end_a.attach_mac_counters(stats.metrics)
+            end_b.attach_mac_counters(stats.metrics)
             nodes[a].attach_link(b, end_a)
             nodes[b].attach_link(a, end_b)
         network = cls(sim, topology, mtmw, pki, config, stats, nodes, channels)

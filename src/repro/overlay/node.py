@@ -41,6 +41,7 @@ from repro.routing.validation import UpdateResult
 from repro.sim.cpu import Cpu
 from repro.sim.engine import EventHandle, PeriodicTimer, Simulator
 from repro.sim.stats import StatsRegistry
+from repro.telemetry.profiling import payload_kind
 from repro.topology.graph import NodeId
 from repro.topology.mtmw import Mtmw, MtmwHolder, MtmwUpdateResult
 
@@ -138,6 +139,13 @@ class LinkSender:
         already intercepted, so they don't re-filter their own output."""
         self.control.append((payload, size, raw))
 
+    def send_hello(self, hello: Hello) -> None:
+        """Send a liveness beacon on the PoR side-channel (accounted)."""
+        tx_messages, tx_bytes = self.node.stats.tx_counters("hello")
+        tx_messages.add()
+        tx_bytes.add(Hello.WIRE_SIZE)
+        self.por.send_hello(hello, Hello.WIRE_SIZE)
+
     # ------------------------------------------------------------------
     def pump(self) -> None:
         """Transmit while the PoR link accepts; reschedule on pacing."""
@@ -162,6 +170,9 @@ class LinkSender:
                 node.stats.counter("data_transmissions").add()
             else:
                 self.control_transmissions += 1
+            tx_messages, tx_bytes = node.stats.tx_counters(payload_kind(filtered))
+            tx_messages.add()
+            tx_bytes.add(size)
             if node.cpu.enabled and node.cpu.costs.tx_packet > 0.0:
                 node.cpu.execute(node.cpu.costs.tx_packet, _noop)
             self.por.send(filtered, size)
@@ -515,6 +526,7 @@ class OverlayNode:
         if self.crashed:
             return
         result = self.routing.apply_update(update, now=self.sim.now)
+        self.stats.counter(f"routing.update.{result.value}").add()
         if result is UpdateResult.ACCEPTED:
             for other, link in self.links.items():
                 if other != neighbor:
@@ -568,7 +580,7 @@ class OverlayNode:
             # instead of the regular beacon — a dead neighbor shouldn't
             # cost full hello bandwidth forever.
             if link.monitor_up and self.mtmw.are_neighbors(self.node_id, neighbor):
-                link.por.send_hello(hello, Hello.WIRE_SIZE)
+                link.send_hello(hello)
         self._check_link_liveness()
         self.reliable.check_stalls()
 
@@ -620,7 +632,7 @@ class OverlayNode:
         # Beacon immediately: the peer's probation clock should not have
         # to wait out our next hello tick.
         self._hello_stamp += 1
-        link.por.send_hello(Hello(self.node_id, self._hello_stamp), Hello.WIRE_SIZE)
+        link.send_hello(Hello(self.node_id, self._hello_stamp))
         link.pump()
 
     def _schedule_probe(self, link: LinkSender) -> None:
@@ -640,7 +652,7 @@ class OverlayNode:
         if not self.mtmw.are_neighbors(self.node_id, neighbor):
             return  # administratively removed; stop probing
         self._hello_stamp += 1
-        link.por.send_hello(Hello(self.node_id, self._hello_stamp), Hello.WIRE_SIZE)
+        link.send_hello(Hello(self.node_id, self._hello_stamp))
         link.probes_sent += 1
         link.probe_interval = min(
             link.probe_interval * self.config.probe_backoff_factor,
@@ -656,6 +668,7 @@ class OverlayNode:
 
     def _issue_link_update(self, neighbor: NodeId, weight: float) -> None:
         self._ls_seqno += 1
+        self.stats.counter("routing.updates_issued").add()
         update = self.routing.make_update(self.node_id, neighbor, weight, self._ls_seqno)
         self.routing.apply_update(update, now=self.sim.now)
         for link in self.links.values():

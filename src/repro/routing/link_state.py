@@ -84,6 +84,10 @@ class UpdateRateLimiter:
         self.burst = float(burst)
         self._tokens = float(burst)
         self._last = 0.0
+        #: Lifetime decision counts, surfaced by telemetry snapshots to
+        #: show how hard each issuer pushes against its budget.
+        self.allowed = 0
+        self.denied = 0
 
     def allow(self, now: float) -> bool:
         """Consume a token at time ``now``; False when rate-limited."""
@@ -92,5 +96,7 @@ class UpdateRateLimiter:
         self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
         if self._tokens >= 1.0:
             self._tokens -= 1.0
+            self.allowed += 1
             return True
+        self.denied += 1
         return False

@@ -14,6 +14,7 @@ own abstractions on top.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
@@ -81,6 +82,7 @@ class Simulator:
         self._events_run = 0
         self._cancelled = 0
         self._running = False
+        self._profiler: Optional[Any] = None
         self.rngs = RngRegistry(seed)
 
     # ------------------------------------------------------------------
@@ -123,6 +125,18 @@ class Simulator:
         ):
             self._compact()
 
+    def _note_cancelled_pop(self) -> None:
+        """A cancelled entry left the heap by being popped at the head.
+
+        The single counterpart of :meth:`_note_cancel`: every dead entry
+        leaves the heap either here or in :meth:`_compact`, so
+        ``_cancelled`` exactly counts dead entries still queued and the
+        compaction threshold cannot drift over long soaks.
+        """
+        self._cancelled -= 1
+        if self._cancelled < 0:  # pragma: no cover - accounting invariant
+            raise SimulationError("cancelled-event accounting went negative")
+
     def _compact(self) -> None:
         """Drop cancelled entries from the heap and re-heapify."""
         self._queue = [handle for handle in self._queue if not handle.cancelled]
@@ -160,14 +174,29 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
-                    self._cancelled -= 1
+                    self._note_cancelled_pop()
                     continue
                 if until is not None and head.time > until:
                     break
                 heapq.heappop(self._queue)
+                # The handle has left the heap: detach it so a stale
+                # cancel() after execution cannot inflate ``_cancelled``
+                # (which would drift the compaction threshold and make
+                # ``pending`` undercount live events).
+                head.on_cancel = None
                 self._now = head.time
                 callback, args = head.callback, head.args
-                callback(*args)
+                profiler = self._profiler
+                if profiler is None:
+                    callback(*args)
+                else:
+                    started = time.perf_counter()
+                    callback(*args)
+                    profiler.record(
+                        getattr(callback, "__qualname__", None)
+                        or type(callback).__name__,
+                        time.perf_counter() - started,
+                    )
                 executed += 1
                 self._events_run += 1
         finally:
@@ -183,12 +212,45 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) queued events."""
-        return len(self._queue) - self._cancelled
+        live = len(self._queue) - self._cancelled
+        assert live >= 0, (
+            f"event accounting drifted: queue={len(self._queue)} "
+            f"cancelled={self._cancelled}"
+        )
+        return live
 
     @property
     def events_run(self) -> int:
         """Total number of events executed over the simulator's lifetime."""
         return self._events_run
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def enable_profiling(self, profiler: Optional[Any] = None):
+        """Install (and return) an event-loop profiler.
+
+        Every executed event is timed with ``time.perf_counter`` and
+        recorded under its callback's qualified name (see
+        :class:`repro.telemetry.profiling.EventLoopProfiler`).  When no
+        profiler is installed the run loop pays a single ``is None``
+        check per event, which is unmeasurable.
+        """
+        if profiler is None:
+            from repro.telemetry.profiling import EventLoopProfiler
+
+            profiler = EventLoopProfiler()
+        self._profiler = profiler
+        return profiler
+
+    def disable_profiling(self) -> None:
+        """Remove the installed event-loop profiler."""
+        self._profiler = None
+
+    @property
+    def profiler(self) -> Optional[Any]:
+        """The installed event-loop profiler, if any."""
+        return self._profiler
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}, pending={len(self._queue)})"
@@ -200,6 +262,13 @@ class PeriodicTimer:
     The first firing happens ``interval`` seconds after :meth:`start` (or
     after an optional phase offset).  Used for protocol heartbeats such as
     E2E ACK generation and link-state refresh.
+
+    Firings stay on the absolute grid ``start + phase + n * interval``:
+    each next firing is computed by multiplication from the epoch rather
+    than by adding ``interval`` to the previous firing time, so
+    floating-point error cannot accumulate into phase drift over long
+    soaks (adding 0.1 to itself thousands of times walks off the grid;
+    ``n * 0.1`` does not).
     """
 
     def __init__(self, sim: Simulator, interval: float, callback: Callable[[], None]):
@@ -209,11 +278,15 @@ class PeriodicTimer:
         self._interval = interval
         self._callback = callback
         self._handle: Optional[EventHandle] = None
+        self._epoch = 0.0
+        self._ticks = 0
 
     def start(self, phase: float = 0.0) -> None:
         """Arm the timer; the first firing is ``interval + phase`` from now."""
         self.stop()
-        self._handle = self._sim.schedule(self._interval + phase, self._fire)
+        self._epoch = self._sim.now + phase
+        self._ticks = 0
+        self._handle = self._sim.schedule_at(self._epoch + self._interval, self._fire)
 
     def stop(self) -> None:
         """Disarm the timer."""
@@ -226,5 +299,13 @@ class PeriodicTimer:
         return self._handle is not None
 
     def _fire(self) -> None:
-        self._handle = self._sim.schedule(self._interval, self._fire)
+        self._ticks += 1
+        next_time = self._epoch + (self._ticks + 1) * self._interval
+        now = self._sim.now
+        while next_time <= now:
+            # The grid point already passed (a callback re-entered the
+            # clock); skip forward rather than scheduling into the past.
+            self._ticks += 1
+            next_time = self._epoch + (self._ticks + 1) * self._interval
+        self._handle = self._sim.schedule_at(next_time, self._fire)
         self._callback()

@@ -5,38 +5,32 @@ latency over time, per-priority message counts) or an aggregate (average
 hops, maximum goodput).  This module provides small, allocation-light
 recorders that the overlay and the benchmark harness share:
 
-* :class:`Counter` — monotonically increasing named counters;
 * :class:`GoodputMeter` — bucketizes delivered bytes into fixed intervals
   and reports Mbps series (Figures 4, 5, 6a, 9);
 * :class:`LatencyRecorder` — per-delivery latencies with summary statistics
   (Figure 6b);
 * :class:`TimeSeries` — generic (time, value) samples;
-* :class:`StatsRegistry` — a per-simulation namespace for all of the above.
+* :class:`StatsRegistry` — a per-simulation namespace for all of the above,
+  backed by a :class:`repro.telemetry.metrics.MetricsRegistry` so protocol
+  counters, crypto-op counts, and per-message-type byte accounting share
+  one namespace and one deterministic snapshot.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
+from repro.telemetry.metrics import Counter, MetricsRegistry
 
-
-class Counter:
-    """A named monotonic counter."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str):
-        self.name = name
-        self.value = 0
-
-    def add(self, amount: int = 1) -> None:
-        """Increment the counter by ``amount``."""
-        self.value += amount
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return f"Counter({self.name}={self.value})"
+__all__ = [
+    "Counter",
+    "GoodputMeter",
+    "LatencyRecorder",
+    "StatsRegistry",
+    "TimeSeries",
+]
 
 
 class TimeSeries:
@@ -69,6 +63,13 @@ class GoodputMeter:
 
     ``series()`` returns (bucket_start_time, mbps) pairs — the exact shape
     plotted in Figures 4–6 and 9.
+
+    Windows that are not aligned to the bucket grid are *prorated*: a
+    boundary bucket contributes bytes in proportion to its overlap with
+    the window, under the assumption that bytes are uniformly spread
+    within a bucket.  (Sub-bucket arrival times are not retained — that
+    is what keeps the meter's memory proportional to elapsed intervals,
+    not to delivered messages.)
     """
 
     def __init__(self, sim: Simulator, interval: float = 1.0, name: str = "goodput"):
@@ -90,41 +91,74 @@ class GoodputMeter:
         self._buckets[bucket] = self._buckets.get(bucket, 0) + size_bytes
         self.total_bytes += size_bytes
 
+    def _overlap(self, bucket: int, start: float, end: float) -> float:
+        """Seconds of [start, end) that fall inside ``bucket``."""
+        lo = bucket * self.interval
+        hi = lo + self.interval
+        return max(0.0, min(end, hi) - max(start, lo))
+
     def series(self, start: float = 0.0, end: Optional[float] = None) -> List[Tuple[float, float]]:
-        """Mbps per interval between ``start`` and ``end`` (defaults to now)."""
+        """Mbps per interval between ``start`` and ``end`` (defaults to now).
+
+        Each point is labelled with the start of the bucket's overlap
+        with the window (equal to the bucket start for interior buckets).
+        A partially overlapped boundary bucket reports its average rate —
+        under the uniform-within-bucket assumption the rate over any
+        sub-window of a bucket equals the bucket's average rate.
+        """
         if end is None:
             end = self._sim.now
+        if end <= start:
+            return []
         first = int(start / self.interval)
         last = int(math.ceil(end / self.interval))
         out: List[Tuple[float, float]] = []
         for bucket in range(first, last):
+            if self._overlap(bucket, start, end) <= 0.0:
+                continue
             size = self._buckets.get(bucket, 0)
             mbps = (size * 8.0) / (self.interval * 1e6)
-            out.append((bucket * self.interval, mbps))
+            out.append((max(start, bucket * self.interval), mbps))
         return out
 
     def average_mbps(self, start: float, end: float) -> float:
-        """Average goodput in Mbps over the window [start, end)."""
+        """Average goodput in Mbps over the window [start, end).
+
+        Boundary buckets that only partially overlap the window are
+        prorated by their overlap fraction, so non-aligned windows no
+        longer inherit whole boundary buckets' bytes (which skewed the
+        reported Mbps by up to ``interval / (end - start)``).
+        """
         if end <= start:
             return 0.0
-        total = 0
+        total = 0.0
         first = int(start / self.interval)
         last = int(math.ceil(end / self.interval))
         for bucket in range(first, last):
-            total += self._buckets.get(bucket, 0)
+            size = self._buckets.get(bucket, 0)
+            if not size:
+                continue
+            total += size * (self._overlap(bucket, start, end) / self.interval)
         return (total * 8.0) / ((end - start) * 1e6)
 
 
 class LatencyRecorder:
-    """Records per-delivery latencies and reports summary statistics."""
+    """Records per-delivery latencies and reports summary statistics.
+
+    The sorted view used by :meth:`percentile` is cached and invalidated
+    on :meth:`record`, so benchmark loops that query percentiles per
+    interval pay one sort per batch of records instead of one per query.
+    """
 
     def __init__(self, name: str = "latency"):
         self.name = name
         self.samples: List[Tuple[float, float]] = []  # (delivery_time, latency)
+        self._sorted: Optional[List[float]] = None
 
     def record(self, delivery_time: float, latency: float) -> None:
         """Record one delivery latency observed at ``delivery_time``."""
         self.samples.append((delivery_time, latency))
+        self._sorted = None
 
     def latencies(self) -> List[float]:
         """All recorded latencies, in delivery order."""
@@ -140,13 +174,24 @@ class LatencyRecorder:
             return 0.0
         return sum(lat for _, lat in self.samples) / len(self.samples)
 
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(lat for _, lat in self.samples)
+        return self._sorted
+
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile latency (p in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100] (got {p})")
         if not self.samples:
             return 0.0
-        ordered = sorted(lat for _, lat in self.samples)
-        if len(ordered) == 1:
+        ordered = self._ordered()
+        # Exact extremes: no interpolation arithmetic at the boundaries,
+        # so p=0 / p=100 return the observed min/max bit-exactly.
+        if p == 0.0:
             return ordered[0]
+        if p == 100.0:
+            return ordered[-1]
         rank = (p / 100.0) * (len(ordered) - 1)
         low = int(rank)
         high = min(low + 1, len(ordered) - 1)
@@ -157,26 +202,33 @@ class LatencyRecorder:
         """Largest recorded latency (0.0 when empty)."""
         if not self.samples:
             return 0.0
-        return max(lat for _, lat in self.samples)
+        return self._ordered()[-1]
+
+
+#: Percentiles included in registry snapshots.
+SNAPSHOT_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
 
 
 class StatsRegistry:
-    """A per-simulation namespace of counters, meters, and series."""
+    """A per-simulation namespace of counters, meters, and series.
 
-    def __init__(self, sim: Simulator):
+    Counters live in the backing :class:`MetricsRegistry` (shared with
+    crypto-op and per-message-type accounting); meters, latency
+    recorders, and unbounded series stay here because they carry
+    simulation-time semantics the generic registry doesn't know about.
+    """
+
+    def __init__(self, sim: Simulator, metrics: Optional[MetricsRegistry] = None):
         self._sim = sim
-        self._counters: Dict[str, Counter] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._meters: Dict[str, GoodputMeter] = {}
         self._latencies: Dict[str, LatencyRecorder] = {}
         self._series: Dict[str, TimeSeries] = {}
+        self._tx_counters: Dict[str, Tuple[Counter, Counter]] = {}
 
     def counter(self, name: str) -> Counter:
         """The named counter, created on first use."""
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = Counter(name)
-            self._counters[name] = counter
-        return counter
+        return self.metrics.counter(name)
 
     def goodput(self, name: str, interval: float = 1.0) -> GoodputMeter:
         """The named goodput meter, created on first use."""
@@ -204,4 +256,69 @@ class StatsRegistry:
 
     def counters(self) -> Dict[str, int]:
         """Snapshot of all counter values."""
-        return {name: c.value for name, c in self._counters.items()}
+        return self.metrics.counter_values()
+
+    def tx_counters(self, kind: str) -> Tuple[Counter, Counter]:
+        """The (messages, bytes) counter pair for one payload kind.
+
+        Cached per kind so link hot paths pay two integer adds per
+        transmission, not two dict lookups by formatted name.
+        """
+        pair = self._tx_counters.get(kind)
+        if pair is None:
+            pair = (
+                self.metrics.counter(f"tx.{kind}.messages"),
+                self.metrics.counter(f"tx.{kind}.bytes"),
+            )
+            self._tx_counters[kind] = pair
+        return pair
+
+    # ------------------------------------------------------------------
+    def message_type_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-payload-kind transmission counts and bytes."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name, value in self.metrics.counter_values().items():
+            if not name.startswith("tx."):
+                continue
+            _, kind, field = name.split(".", 2)
+            out.setdefault(kind, {})[field] = value
+        return out
+
+    def snapshot(
+        self, percentiles: Sequence[float] = SNAPSHOT_PERCENTILES
+    ) -> Dict[str, dict]:
+        """Deterministic summary of every instrument in this registry.
+
+        Safe to JSON-encode; two same-seed runs produce identical
+        snapshots (no wall-clock state is included).
+        """
+        goodput = {
+            name: {
+                "total_bytes": meter.total_bytes,
+                "interval": meter.interval,
+                "first_time": meter.first_time,
+                "last_time": meter.last_time,
+                "average_mbps": (
+                    meter.average_mbps(0.0, self._sim.now) if self._sim.now > 0 else 0.0
+                ),
+            }
+            for name, meter in sorted(self._meters.items())
+        }
+        latency = {
+            name: {
+                "count": rec.count,
+                "mean": rec.mean(),
+                "max": rec.maximum(),
+                **{f"p{p:g}": rec.percentile(p) for p in percentiles},
+            }
+            for name, rec in sorted(self._latencies.items())
+        }
+        series = {
+            name: {"samples": len(ts)} for name, ts in sorted(self._series.items())
+        }
+        snapshot = self.metrics.snapshot()
+        snapshot["goodput"] = goodput
+        snapshot["latency"] = latency
+        snapshot["sim_series"] = series
+        snapshot["message_types"] = self.message_type_snapshot()
+        return snapshot

@@ -182,6 +182,49 @@ class TestPendingAndCompaction:
         sim.run()
         assert order == list(range(40))
 
+    def test_cancel_after_execution_does_not_drift_accounting(self):
+        # Regression: cancelling an already-executed handle used to fire
+        # on_cancel and inflate _cancelled, making `pending` undercount
+        # live events (and eventually assert).
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # stale cancel: the event already ran
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 1
+        assert sim.run() == 1
+        assert sim.pending == 0
+
+    def test_stale_cancel_soak_keeps_accounting_exact(self):
+        # A protocol-timer pattern: every event reschedules itself and
+        # cancels its predecessor's (already executed) handle.  Accounting
+        # must stay exact over many iterations.
+        sim = Simulator()
+        state = {}
+
+        def tick(step):
+            old = state.get("handle")
+            if old is not None:
+                old.cancel()  # always stale: old ran to schedule us
+            if step < 500:
+                state["handle"] = sim.schedule(1.0, tick, step + 1)
+
+        state["handle"] = sim.schedule(1.0, tick, 0)
+        sim.run()
+        assert sim.pending == 0
+        assert sim._cancelled == 0
+
+    def test_cancelled_head_pop_decrements_cancelled_count(self):
+        sim = Simulator()
+        doomed = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        survivor = sim.schedule(100.0, lambda: None)
+        for handle in doomed:
+            handle.cancel()
+        sim.run()  # pops every cancelled head on its way to the survivor
+        assert sim._cancelled == 0
+        assert sim.pending == 0
+        assert survivor.cancelled is False
+
 
 class TestPeriodicTimer:
     def test_fires_at_interval(self):
@@ -214,6 +257,28 @@ class TestPeriodicTimer:
         sim = Simulator()
         with pytest.raises(SimulationError):
             PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_no_phase_drift_over_long_soak(self):
+        # Regression: rescheduling at now + interval accumulates binary
+        # floating-point error for intervals like 0.1; firings must stay
+        # bit-exactly on the grid epoch + n * interval instead.
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 0.1, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=100.0)
+        assert len(ticks) == 1000
+        assert all(t == (i + 1) * 0.1 for i, t in enumerate(ticks))
+
+    def test_restart_rebases_the_grid(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=2.5)
+        timer.start()  # restart at t=2.5: new epoch
+        sim.run(until=5.0)
+        assert ticks == [1.0, 2.0, 3.5, 4.5]
 
 
 class TestRngRegistry:

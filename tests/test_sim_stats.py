@@ -35,6 +35,40 @@ class TestGoodputMeter:
         assert meter.first_time == 2.0
         assert meter.last_time == 4.0
 
+    def test_average_prorates_partial_boundary_buckets(self):
+        # Regression: a window starting mid-bucket used to inherit the
+        # whole boundary bucket's bytes, overstating Mbps by up to
+        # interval / (end - start).
+        sim = Simulator()
+        meter = GoodputMeter(sim, interval=1.0)
+        sim.schedule(0.25, meter.record, 125_000)  # 1 Mbit, all in bucket 0
+        sim.run(until=2.0)
+        # [0.5, 1.5) overlaps half of bucket 0: half the bytes, 1 second.
+        assert meter.average_mbps(0.5, 1.5) == pytest.approx(0.5)
+        # The aligned window still sees everything.
+        assert meter.average_mbps(0.0, 1.0) == pytest.approx(1.0)
+        # A window wholly inside bucket 0 gets the bucket's average rate.
+        assert meter.average_mbps(0.25, 0.75) == pytest.approx(1.0)
+
+    def test_series_clamps_labels_to_window(self):
+        sim = Simulator()
+        meter = GoodputMeter(sim, interval=1.0)
+        sim.schedule(0.25, meter.record, 125_000)
+        sim.run(until=3.0)
+        series = meter.series(0.5, 2.0)
+        # The first point is labelled at the window start, not bucket 0's
+        # start; boundary buckets report their average rate.
+        assert series == [(0.5, pytest.approx(1.0)), (1.0, 0.0)]
+
+    def test_empty_and_inverted_windows(self):
+        sim = Simulator()
+        meter = GoodputMeter(sim, interval=1.0)
+        sim.schedule(0.5, meter.record, 1000)
+        sim.run(until=1.0)
+        assert meter.series(2.0, 2.0) == []
+        assert meter.series(3.0, 1.0) == []
+        assert meter.average_mbps(3.0, 1.0) == 0.0
+
 
 class TestLatencyRecorder:
     def test_summary_statistics(self):
@@ -58,6 +92,48 @@ class TestLatencyRecorder:
         rec = LatencyRecorder()
         rec.record(0.0, 0.5)
         assert rec.percentile(99) == 0.5
+
+    def test_percentile_out_of_range_rejected(self):
+        rec = LatencyRecorder()
+        rec.record(0.0, 0.5)
+        with pytest.raises(ValueError):
+            rec.percentile(-0.1)
+        with pytest.raises(ValueError):
+            rec.percentile(100.1)
+
+    def test_boundary_percentiles_are_exact(self):
+        # p=0 / p=100 must return the observed extremes bit-exactly (no
+        # interpolation arithmetic that could perturb the last ulp).
+        rec = LatencyRecorder()
+        values = [0.1 + i * 0.0305175781251 for i in range(7)]
+        for i, v in enumerate(values):
+            rec.record(float(i), v)
+        assert rec.percentile(0.0) == min(values)
+        assert rec.percentile(100.0) == max(values)
+
+    def test_sorted_cache_invalidated_by_record(self):
+        # Regression: percentile() used to re-sort on every call; the
+        # cached sorted view must still see samples recorded after a query.
+        rec = LatencyRecorder()
+        rec.record(0.0, 0.030)
+        rec.record(1.0, 0.010)
+        assert rec.percentile(100.0) == pytest.approx(0.030)
+        rec.record(2.0, 0.050)  # must invalidate the cached sort
+        assert rec.percentile(100.0) == pytest.approx(0.050)
+        assert rec.percentile(0.0) == pytest.approx(0.010)
+        assert rec.maximum() == pytest.approx(0.050)
+
+    def test_percentile_reuses_sorted_view(self):
+        rec = LatencyRecorder()
+        for i in range(100):
+            rec.record(float(i), float(i % 10))
+        rec.percentile(50.0)
+        cached = rec._sorted
+        assert cached is not None
+        rec.percentile(90.0)
+        assert rec._sorted is cached  # no re-sort between queries
+        rec.record(100.0, 99.0)
+        assert rec._sorted is None  # invalidated
 
 
 class TestTimeSeriesAndRegistry:
