@@ -1,0 +1,61 @@
+"""Live-runtime smoke benchmark: the overlay over real UDP on localhost.
+
+Unlike the simulation benchmarks, this one measures *wall clock*: it
+boots a 4-node overlay on 127.0.0.1 (``repro.runtime``), injects
+priority + reliable CBR traffic for a few real seconds, and records
+delivery ratios, mean latencies, and datagram counts.  The artifact
+``BENCH_live_smoke.json`` is inherently non-deterministic (real sockets,
+real timers) — CI uploads it for trend inspection, not for byte-diffing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import Reporter, run_once
+
+from repro.runtime.live import LiveConfig, run_live
+
+DURATION = 4.0
+NODES = 4
+
+
+def test_live_smoke(benchmark):
+    reporter = Reporter("live_smoke")
+    report = run_once(
+        benchmark,
+        lambda: run_live(LiveConfig(nodes=NODES, duration=DURATION, seed=0)),
+    )
+    reporter.table(
+        ["flow", "semantics", "sent", "delivered", "ratio", "mean ms"],
+        [
+            (
+                f"{flow.source}->{flow.dest}",
+                flow.semantics,
+                flow.sent,
+                flow.delivered,
+                f"{flow.ratio:.1%}",
+                f"{flow.mean_latency * 1000:.2f}" if flow.mean_latency else "-",
+            )
+            for flow in report.flows
+        ],
+    )
+    reporter.line()
+    reporter.line(
+        f"delivery: overall {report.delivery_ratio:.1%}  "
+        f"priority {report.priority_ratio:.1%}  "
+        f"reliable {report.reliable_ratio:.1%}"
+    )
+    reporter.line(
+        f"transport: {report.transport['datagrams_received']} datagrams, "
+        f"{report.transport['decode_errors']} decode errors"
+    )
+    reporter.json_artifact(report.to_dict())
+    reporter.flush()
+
+    assert not report.runtime_errors, report.runtime_errors
+    assert not report.interrupted
+    # A clean localhost run should deliver essentially everything; the
+    # bar is deliberately below 100% to absorb scheduling-jitter losses
+    # in the drain window on loaded CI machines.
+    assert report.delivery_ratio >= 0.95
+    assert report.transport["decode_errors"] == 0
+    assert report.transport["encode_errors"] == 0

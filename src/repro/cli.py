@@ -22,6 +22,11 @@ Commands
     counters, per-message-type bytes, crypto ops, per-flow goodput and
     latency percentiles) as JSON or CSV.  Deterministic by default;
     ``--profile`` adds wall-clock event-loop timing.
+``live``
+    Boot the same overlay stack over real asyncio/UDP sockets on
+    localhost (:mod:`repro.runtime`), inject priority + reliable client
+    traffic for a wall-clock duration, and print per-flow delivery.
+    Ctrl-C shuts down gracefully and still prints the report.
 """
 
 from __future__ import annotations
@@ -199,6 +204,58 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """``repro live``: run the overlay over real UDP sockets on localhost."""
+    import json
+
+    from repro.runtime.live import LiveConfig, run_live
+
+    if args.method == "flooding":
+        method = DisseminationMethod.flooding()
+    else:
+        method = DisseminationMethod.k_paths(args.k)
+    config = LiveConfig(
+        nodes=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        method=method,
+        rate_msgs_per_sec=args.rate,
+        size_bytes=args.size,
+    )
+    print(f"live overlay: {args.nodes} nodes on 127.0.0.1 (UDP), "
+          f"{args.duration:.0f} s wall clock, method={args.method}, "
+          f"seed={args.seed}")
+    report = run_live(config)
+    if report.interrupted:
+        print("interrupted; draining stopped early")
+    for flow in report.flows:
+        latency = (f"{flow.mean_latency * 1000:7.2f} ms"
+                   if flow.mean_latency is not None else "      — ")
+        print(f"  {flow.source!s:>2} -> {flow.dest!s:<2} {flow.semantics:<9}"
+              f" {flow.delivered:>5}/{flow.sent:<5} ({flow.ratio:6.1%})  "
+              f"latency {latency}")
+    print(f"delivery: overall {report.delivery_ratio:.1%}  "
+          f"priority {report.priority_ratio:.1%}  "
+          f"reliable {report.reliable_ratio:.1%}")
+    transport = report.transport
+    print(f"transport: {transport['datagrams_received']} datagrams received, "
+          f"{transport['decode_errors']} decode errors, "
+          f"{transport['encode_errors']} encode drops")
+    if report.runtime_errors:
+        for message in report.runtime_errors:
+            print(f"runtime error: {message}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote live report to {args.output}")
+    ok = (
+        not report.runtime_errors
+        and report.delivery_ratio >= args.min_delivery
+    )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -257,6 +314,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable sim-time event tracing and include "
                             "the event summary")
     stats.set_defaults(func=cmd_stats)
+
+    live = sub.add_parser(
+        "live", help="run the overlay over real asyncio/UDP sockets"
+    )
+    live.add_argument("--nodes", type=int, default=4)
+    live.add_argument("--duration", type=float, default=5.0,
+                      help="wall-clock seconds, including the drain window")
+    live.add_argument("--method", choices=["flooding", "kpaths"],
+                      default="flooding")
+    live.add_argument("--k", type=int, default=2,
+                      help="number of disjoint paths when --method kpaths")
+    live.add_argument("--rate", type=float, default=20.0,
+                      help="offered load per flow, messages/second")
+    live.add_argument("--size", type=int, default=256,
+                      help="message payload size in bytes")
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument("--output", default=None,
+                      help="also write the JSON report to a file")
+    live.add_argument("--min-delivery", type=float, default=0.0,
+                      help="exit 1 if overall delivery falls below this "
+                           "fraction (CI gate)")
+    live.set_defaults(func=cmd_live)
     return parser
 
 

@@ -47,3 +47,24 @@ class RoutingSecurityError(ProtocolError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
+
+
+class WireFormatError(ProtocolError):
+    """A wire payload could not be encoded or decoded.
+
+    Base class for the live runtime's datagram codec errors; network
+    input that is truncated, corrupted, or simply not ours raises a
+    subclass instead of leaking ``struct.error`` / ``IndexError``.
+    """
+
+
+class WireEncodeError(WireFormatError):
+    """A payload cannot be represented in the wire format."""
+
+
+class WireDecodeError(WireFormatError):
+    """A received datagram is malformed, truncated, or unsupported."""
+
+
+class LiveRuntimeError(ReproError):
+    """The live (asyncio/UDP) runtime was misused or failed to boot."""

@@ -35,15 +35,23 @@ Implementation notes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.crypto.dh import DiffieHellman
 from repro.crypto.mac import hmac_sha256, verify_hmac
 from repro.crypto.nonces import NONCE_SIZE, CumulativeNonceChain, NonceVerifier
 from repro.crypto.pki import Pki, PkiMode
 from repro.errors import ConfigurationError, ProtocolError
-from repro.sim.channel import Channel
-from repro.sim.engine import EventHandle, Simulator
+
+if TYPE_CHECKING:
+    # The endpoint is written against the substrate seam, not a concrete
+    # engine: any SchedulerLike (Simulator or AsyncioScheduler) and any
+    # TransportLike (simulated Channel or live UDP channel) will do.
+    from repro.runtime.interfaces import (
+        CancellableHandle,
+        SchedulerLike,
+        TransportLike,
+    )
 
 
 @dataclass(frozen=True)
@@ -179,11 +187,11 @@ class PorEndpoint:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SchedulerLike,
         node_id: Any,
         peer_id: Any,
-        out_channel: Channel,
-        in_channel: Channel,
+        out_channel: TransportLike,
+        in_channel: TransportLike,
         pki: Pki,
         config: Optional[PorConfig] = None,
     ):
@@ -205,7 +213,7 @@ class PorEndpoint:
         self._established = False
         self._link_key: Optional[bytes] = None
         self._dh: Optional[DiffieHellman] = None
-        self._handshake_timer: Optional[EventHandle] = None
+        self._handshake_timer: Optional[CancellableHandle] = None
         self._handshake_attempts = 0
         self._handshake_responder = False
 
@@ -214,7 +222,7 @@ class PorEndpoint:
         self._next_seq = 0
         self._verifier = NonceVerifier()
         self._unacked: Dict[int, _SendRecord] = {}
-        self._timer: Optional[EventHandle] = None
+        self._timer: Optional[CancellableHandle] = None
         self._srtt: Optional[float] = None
         self._rttvar = 0.0
         self._dup_acks = 0
@@ -624,11 +632,11 @@ class PorEndpoint:
 
 
 def connect_por_pair(
-    sim: Simulator,
+    sim: SchedulerLike,
     a: Any,
     b: Any,
-    channel_ab: Channel,
-    channel_ba: Channel,
+    channel_ab: TransportLike,
+    channel_ba: TransportLike,
     pki: Pki,
     config: Optional[PorConfig] = None,
     handshake: bool = False,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.byzantine.behaviors import Behavior, HonestBehavior
 from repro.crypto.pki import Pki
@@ -39,9 +39,14 @@ from repro.routing.link_state import UPDATE_WIRE_SIZE, LinkStateUpdate
 from repro.routing.state import FAILED_WEIGHT, RoutingState
 from repro.routing.validation import UpdateResult
 from repro.sim.cpu import Cpu
-from repro.sim.engine import EventHandle, PeriodicTimer, Simulator
+from repro.sim.engine import PeriodicTimer
 from repro.sim.stats import StatsRegistry
 from repro.telemetry.profiling import payload_kind
+
+if TYPE_CHECKING:
+    # The node runs over the substrate seam: a simulated or wall-clock
+    # scheduler both satisfy SchedulerLike (see repro.runtime.interfaces).
+    from repro.runtime.interfaces import CancellableHandle, SchedulerLike
 from repro.topology.graph import NodeId
 from repro.topology.mtmw import Mtmw, MtmwHolder, MtmwUpdateResult
 
@@ -84,7 +89,7 @@ class LinkSender:
         self.priority_queue = PriorityLinkQueue(node.config.priority_queue_capacity)
         self.reliable = ReliableLinkState(node.config.reliable_buffer)
         self._serve_reliable_next = False
-        self._pump_event: Optional[EventHandle] = None
+        self._pump_event: Optional[CancellableHandle] = None
         # Link monitoring / quarantine state.  ``monitor_up`` False means
         # the link is quarantined: reported failed to routing, regular
         # hellos replaced by backoff probes until probation completes.
@@ -93,7 +98,7 @@ class LinkSender:
         self.quarantined_at: Optional[float] = None
         self.probation_since: Optional[float] = None
         self.probe_interval: float = node.config.probe_backoff_initial
-        self._probe_event: Optional[EventHandle] = None
+        self._probe_event: Optional[CancellableHandle] = None
         # Observability.
         self.data_transmissions = 0
         self.control_transmissions = 0
@@ -217,7 +222,7 @@ class OverlayNode:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SchedulerLike,
         node_id: NodeId,
         mtmw: Mtmw,
         pki: Pki,

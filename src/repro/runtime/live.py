@@ -1,0 +1,480 @@
+"""Boot, drive, and tear down a live N-node overlay on localhost UDP.
+
+:class:`LiveDeployment` is the live counterpart of
+:class:`repro.workloads.experiment.Deployment`: it assembles the *same*
+protocol stack — :class:`~repro.overlay.node.OverlayNode`, Proof-of-
+Receipt links, priority + reliable messaging, link-state routing over an
+administrator-signed MTMW — but wires every node to a real UDP socket
+(:mod:`repro.runtime.transport`) driven by a real asyncio event loop
+(:class:`~repro.runtime.scheduler.AsyncioScheduler`).  No protocol logic
+is forked: the only substitution is the substrate behind the
+Clock/Scheduler/Transport seam (:mod:`repro.runtime.interfaces`).
+
+One :class:`NodeProcess` per overlay node owns the node's socket, its
+:class:`~repro.sim.stats.StatsRegistry` (so telemetry is collected *per
+node*, as a real deployment would), and its PoR endpoints.  Traffic is
+injected by the stock :class:`repro.workloads.traffic.CbrTraffic`
+generators — they only use the ``sim`` / ``node()`` duck type, so they
+drive wall-clock runs unchanged.
+
+Shutdown is graceful on both timeout and SIGINT: traffic stops, the run
+drains in-flight messages, every scheduled callback is cancelled, and
+all sockets close before the report is built.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.pki import Pki
+from repro.errors import ConfigurationError, LiveRuntimeError
+from repro.link.por import PorEndpoint
+from repro.messaging.message import Semantics
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.overlay.node import OverlayNode
+from repro.runtime.scheduler import AsyncioScheduler
+from repro.runtime.transport import AsyncioUdpTransport
+from repro.sim.stats import StatsRegistry
+from repro.topology import generators
+from repro.topology.graph import NodeId, Topology
+from repro.topology.mtmw import Mtmw
+from repro.workloads.traffic import CbrTraffic
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Tunables of a live localhost run.
+
+    ``duration`` covers injection plus a trailing ``drain`` window during
+    which no new traffic is offered so in-flight messages can land (the
+    delivery ratio is measured over everything injected).
+    """
+
+    nodes: int = 4
+    duration: float = 5.0
+    seed: int = 0
+    method: DisseminationMethod = field(default_factory=DisseminationMethod.flooding)
+    rate_msgs_per_sec: float = 20.0
+    size_bytes: int = 256
+    host: str = "127.0.0.1"
+    drain: float = 1.5
+    overlay: OverlayConfig = field(default_factory=OverlayConfig)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ConfigurationError("a live overlay needs at least 2 nodes")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.rate_msgs_per_sec <= 0:
+            raise ConfigurationError("rate must be positive")
+        if self.size_bytes < 1:
+            raise ConfigurationError("size_bytes must be >= 1")
+
+    @property
+    def inject_seconds(self) -> float:
+        """How long traffic is offered before the drain window."""
+        return max(self.duration - min(self.drain, 0.4 * self.duration), 0.1)
+
+
+class NodeProcess:
+    """One live overlay node: socket, stats registry, protocol stack."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        scheduler: AsyncioScheduler,
+        transport: AsyncioUdpTransport,
+        overlay: OverlayNode,
+        stats: StatsRegistry,
+    ):
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self.transport = transport
+        self.overlay = overlay
+        self.stats = stats
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) this node's UDP socket is bound to."""
+        return self.transport.local_address
+
+    def snapshot(self) -> Dict[str, Any]:
+        """This node's full telemetry snapshot (counters, meters, series)."""
+        return self.stats.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeProcess({self.node_id!r} @ {self.transport.local_address})"
+
+
+@dataclass
+class FlowOutcome:
+    """Per-flow delivery outcome of a live run."""
+
+    source: NodeId
+    dest: NodeId
+    semantics: str
+    sent: int
+    delivered: int
+    mean_latency: Optional[float]
+
+    @property
+    def ratio(self) -> float:
+        return 1.0 if self.sent == 0 else self.delivered / self.sent
+
+
+@dataclass
+class LiveReport:
+    """Aggregate outcome of one live run (JSON-serializable)."""
+
+    nodes: int
+    duration: float
+    seed: int
+    method: str
+    interrupted: bool
+    wall_seconds: float
+    flows: List[FlowOutcome]
+    per_node: Dict[str, Dict[str, Any]]
+    transport: Dict[str, int]
+    runtime_errors: List[str]
+
+    def _ratio(self, semantics: Optional[str] = None) -> float:
+        flows = [
+            f for f in self.flows if semantics is None or f.semantics == semantics
+        ]
+        sent = sum(f.sent for f in flows)
+        delivered = sum(f.delivered for f in flows)
+        return 1.0 if sent == 0 else delivered / sent
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / injected over every flow."""
+        return self._ratio()
+
+    @property
+    def priority_ratio(self) -> float:
+        return self._ratio(Semantics.PRIORITY.value)
+
+    @property
+    def reliable_ratio(self) -> float:
+        return self._ratio(Semantics.RELIABLE.value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (written by ``repro live --output``)."""
+        return {
+            "nodes": self.nodes,
+            "duration": self.duration,
+            "seed": self.seed,
+            "method": self.method,
+            "interrupted": self.interrupted,
+            "wall_seconds": self.wall_seconds,
+            "delivery_ratio": self.delivery_ratio,
+            "priority_ratio": self.priority_ratio,
+            "reliable_ratio": self.reliable_ratio,
+            "flows": [
+                {
+                    "source": f.source,
+                    "dest": f.dest,
+                    "semantics": f.semantics,
+                    "sent": f.sent,
+                    "delivered": f.delivered,
+                    "ratio": f.ratio,
+                    "mean_latency": f.mean_latency,
+                }
+                for f in self.flows
+            ],
+            "per_node": self.per_node,
+            "transport": self.transport,
+            "runtime_errors": self.runtime_errors,
+        }
+
+
+def live_topology(n: int) -> Topology:
+    """The localhost lab topology: small cliques, chordal rings beyond.
+
+    Weights are 1 ms — routing needs *some* administrator-signed minimum
+    weight, but real latency on loopback is what it is.
+    """
+    if n <= 4:
+        return generators.clique(n, weight=0.001)
+    return generators.chordal_ring(n, chords=2, weight=0.001)
+
+
+class LiveDeployment:
+    """A fully wired live overlay on localhost (see module docstring).
+
+    Usage (inside a running event loop)::
+
+        deployment = LiveDeployment(LiveConfig(nodes=4, duration=5.0))
+        await deployment.start()
+        try:
+            await deployment.serve()
+        finally:
+            await deployment.stop()
+        report = deployment.report()
+
+    Or synchronously: :func:`run_live`.
+    """
+
+    def __init__(self, config: Optional[LiveConfig] = None):
+        self.config = config or LiveConfig()
+        self.topology = live_topology(self.config.nodes)
+        self.scheduler: Optional[AsyncioScheduler] = None
+        self.pki: Optional[Pki] = None
+        self.mtmw: Optional[Mtmw] = None
+        self.processes: Dict[NodeId, NodeProcess] = {}
+        self.traffic: List[CbrTraffic] = []
+        self._flow_specs: List[Tuple[NodeId, NodeId, Semantics]] = []
+        self._interrupted = False
+        self._started_at: Optional[float] = None
+        self._stopped = False
+        self._runtime_errors: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Duck-type parity with OverlayNetwork / Deployment
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> AsyncioScheduler:
+        """The shared scheduler (named ``sim`` for generator duck-typing)."""
+        if self.scheduler is None:
+            raise LiveRuntimeError("deployment not started")
+        return self.scheduler
+
+    def node(self, node_id: NodeId) -> OverlayNode:
+        """The overlay node for ``node_id`` (generator duck-typing)."""
+        return self.processes[node_id].overlay
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind sockets, wire links, arm timers, and start traffic."""
+        if self.scheduler is not None:
+            raise LiveRuntimeError("deployment already started")
+        config = self.config
+        loop = asyncio.get_event_loop()
+        loop.set_exception_handler(self._on_loop_exception)
+        self.scheduler = AsyncioScheduler(seed=config.seed, loop=loop)
+        self.pki = Pki(mode=config.overlay.crypto.pki_mode, seed=config.seed)
+        for node_id in self.topology.nodes:
+            self.pki.register(node_id)
+        self.mtmw = Mtmw.create(self.topology, self.pki)
+
+        # Phase 1: bind every node's socket (ephemeral ports: the OS
+        # guarantees no collisions, and the MTMW does not care about
+        # port numbers).
+        for node_id in sorted(self.topology.nodes):
+            stats = StatsRegistry(self.scheduler)
+            if not self.processes:
+                # The PKI is shared process-wide, so its crypto-op
+                # counters can only live in one registry; credit them to
+                # the first node (attach_metrics replaces, not adds).
+                self.pki.attach_metrics(stats.metrics)
+            transport = await AsyncioUdpTransport.open(
+                node_id, host=config.host, metrics=stats.metrics
+            )
+            overlay = OverlayNode(
+                self.scheduler, node_id, self.mtmw, self.pki, config.overlay, stats
+            )
+            self.processes[node_id] = NodeProcess(
+                node_id, self.scheduler, transport, overlay, stats
+            )
+
+        # Phase 2: now that every address is known, wire a PoR link pair
+        # per MTMW edge, exactly as the simulator's builder does — only
+        # the channels are UDP halves instead of simulated pipes.
+        for a, b in self.topology.edges():
+            proc_a, proc_b = self.processes[a], self.processes[b]
+            proc_a.transport.register_peer(b, proc_b.address)
+            proc_b.transport.register_peer(a, proc_a.address)
+            end_a = PorEndpoint(
+                self.scheduler,
+                a,
+                b,
+                proc_a.transport.send_channel(b),
+                proc_a.transport.receive_channel(b),
+                self.pki,
+                config=config.overlay.por,
+            )
+            end_b = PorEndpoint(
+                self.scheduler,
+                b,
+                a,
+                proc_b.transport.send_channel(a),
+                proc_b.transport.receive_channel(a),
+                self.pki,
+                config=config.overlay.por,
+            )
+            end_a.establish_out_of_band()
+            end_b.establish_out_of_band()
+            end_a.attach_mac_counters(proc_a.stats.metrics)
+            end_b.attach_mac_counters(proc_b.stats.metrics)
+            proc_a.overlay.attach_link(b, end_a)
+            proc_b.overlay.attach_link(a, end_b)
+
+        for process in self.processes.values():
+            process.overlay.start()
+        self._started_at = loop.time()
+        self._start_traffic()
+
+    def _start_traffic(self) -> None:
+        """One CBR flow per node; alternating priority/reliable semantics."""
+        config = self.config
+        node_ids = sorted(self.topology.nodes)
+        n = len(node_ids)
+        rate_bps = config.rate_msgs_per_sec * config.size_bytes * 8.0
+        for index, source in enumerate(node_ids):
+            dest = node_ids[(index + max(1, n // 2)) % n]
+            if dest == source:
+                continue
+            semantics = Semantics.PRIORITY if index % 2 == 0 else Semantics.RELIABLE
+            generator = CbrTraffic(
+                self,  # duck-typed: CbrTraffic uses only .sim and .node()
+                source,
+                dest,
+                rate_bps=rate_bps,
+                size_bytes=config.size_bytes,
+                semantics=semantics,
+                method=config.method,
+            )
+            self.traffic.append(generator)
+            self._flow_specs.append((source, dest, semantics))
+            generator.start()
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    async def serve(self) -> bool:
+        """Inject for the configured window, then drain; returns True if
+        the run was interrupted by SIGINT instead of running to time."""
+        config = self.config
+        stop_event = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        sigint_armed = False
+        try:
+            loop.add_signal_handler(signal.SIGINT, stop_event.set)
+            sigint_armed = True
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without signal support; timeout still applies
+        try:
+            self._interrupted = await self._wait(stop_event, config.inject_seconds)
+            for generator in self.traffic:
+                generator.stop()
+            if not self._interrupted:
+                drain = config.duration - config.inject_seconds
+                self._interrupted = await self._wait(stop_event, drain)
+        finally:
+            if sigint_armed:
+                loop.remove_signal_handler(signal.SIGINT)
+        return self._interrupted
+
+    @staticmethod
+    async def _wait(stop_event: asyncio.Event, seconds: float) -> bool:
+        """Wait ``seconds`` or until the event fires; True when it fired."""
+        if seconds <= 0:
+            return stop_event.is_set()
+        try:
+            await asyncio.wait_for(stop_event.wait(), timeout=seconds)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    async def stop(self) -> None:
+        """Graceful teardown: stop traffic and timers, close every socket."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for generator in self.traffic:
+            generator.stop()
+        if self.scheduler is not None:
+            self.scheduler.shutdown()
+        for process in self.processes.values():
+            process.transport.close()
+        # Give asyncio one cycle to run transport close callbacks.
+        await asyncio.sleep(0)
+
+    def _on_loop_exception(self, loop: Any, context: Dict[str, Any]) -> None:
+        message = context.get("message") or "event-loop error"
+        exception = context.get("exception")
+        if exception is not None:
+            message = f"{message}: {type(exception).__name__}: {exception}"
+        self._runtime_errors.append(message)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> LiveReport:
+        """Build the run report from per-node telemetry registries."""
+        if self.scheduler is None or self._started_at is None:
+            raise LiveRuntimeError("deployment never started")
+        flows: List[FlowOutcome] = []
+        for generator, (source, dest, semantics) in zip(
+            self.traffic, self._flow_specs
+        ):
+            dest_stats = self.processes[dest].stats
+            recorder = dest_stats.latency(f"latency:{source}->{dest}")
+            flows.append(
+                FlowOutcome(
+                    source=source,
+                    dest=dest,
+                    semantics=semantics.value,
+                    sent=generator.messages_sent,
+                    delivered=recorder.count,
+                    mean_latency=recorder.mean() if recorder.count else None,
+                )
+            )
+        transport_totals = {
+            "datagrams_received": 0,
+            "bytes_received": 0,
+            "decode_errors": 0,
+            "misdirected": 0,
+            "unknown_sender": 0,
+            "encode_errors": 0,
+        }
+        for process in self.processes.values():
+            transport = process.transport
+            transport_totals["datagrams_received"] += transport.datagrams_received
+            transport_totals["bytes_received"] += transport.bytes_received
+            transport_totals["decode_errors"] += transport.decode_errors
+            transport_totals["misdirected"] += transport.misdirected
+            transport_totals["unknown_sender"] += transport.unknown_sender
+            transport_totals["encode_errors"] += transport.encode_errors
+        return LiveReport(
+            nodes=self.config.nodes,
+            duration=self.config.duration,
+            seed=self.config.seed,
+            method=self.config.method.kind
+            if self.config.method.is_flooding
+            else f"kpaths:{self.config.method.k}",
+            interrupted=self._interrupted,
+            wall_seconds=self.scheduler.now,
+            flows=flows,
+            per_node={
+                str(node_id): process.snapshot()
+                for node_id, process in sorted(
+                    self.processes.items(), key=lambda item: str(item[0])
+                )
+            },
+            transport=transport_totals,
+            runtime_errors=list(self._runtime_errors),
+        )
+
+
+async def _run_async(config: LiveConfig) -> LiveReport:
+    deployment = LiveDeployment(config)
+    await deployment.start()
+    try:
+        await deployment.serve()
+    finally:
+        await deployment.stop()
+    return deployment.report()
+
+
+def run_live(config: Optional[LiveConfig] = None) -> LiveReport:
+    """Boot a live overlay, run it to completion (or SIGINT), and report."""
+    return asyncio.run(_run_async(config or LiveConfig()))

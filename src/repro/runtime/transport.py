@@ -1,0 +1,244 @@
+"""Real UDP transports for the live overlay runtime.
+
+One :class:`AsyncioUdpTransport` per overlay node: a single UDP socket
+bound to localhost, shared by all of the node's Proof-of-Receipt links.
+Per directed link the node holds
+
+* a :class:`UdpSendChannel` (the ``out_channel`` of its PoR endpoint) —
+  encodes each packet with :mod:`repro.runtime.wire` and sends one real
+  datagram to the neighbor's socket;
+* a :class:`UdpReceiveChannel` (the ``in_channel``) — a registration
+  point for the endpoint's ``on_receive``; the transport decodes
+  incoming datagrams and dispatches them here by sender id.
+
+Both channel classes satisfy the
+:class:`repro.runtime.interfaces.TransportLike` protocol, which is the
+same duck type :class:`repro.sim.channel.Channel` implements — so
+:class:`repro.link.por.PorEndpoint` runs unmodified over either.
+
+Robustness: anything that is not a well-formed, correctly addressed
+datagram from a known neighbor is counted and dropped — an attacker (or
+a stray process) spraying a node's port cannot crash it, only waste its
+decode budget.  That mirrors the paper's stance that overlay nodes only
+accept traffic from their direct MTMW neighbors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import LiveRuntimeError, WireDecodeError, WireEncodeError
+from repro.runtime.wire import decode_datagram, encode_datagram
+
+Address = Tuple[str, int]
+
+
+class UdpReceiveChannel:
+    """The receiving half of one directed link (peer -> local node)."""
+
+    __slots__ = ("peer", "on_receive", "packets_delivered")
+
+    def __init__(self, peer: Any):
+        self.peer = peer
+        self.on_receive: Optional[Callable[[Any], None]] = None
+        self.packets_delivered = 0
+
+    def deliver(self, packet: Any) -> None:
+        """Hand one decoded packet to the registered receiver."""
+        self.packets_delivered += 1
+        if self.on_receive is not None:
+            self.on_receive(packet)
+
+    def send(self, packet: Any, size_bytes: int) -> None:
+        """TransportLike parity only: a receive channel never sends."""
+        raise LiveRuntimeError("UdpReceiveChannel cannot send")
+
+    def time_until_idle(self) -> float:
+        """Always 0.0: receiving never backlogs the channel."""
+        return 0.0
+
+
+class UdpSendChannel:
+    """The sending half of one directed link (local node -> peer)."""
+
+    __slots__ = (
+        "_transport",
+        "peer",
+        "on_receive",
+        "packets_sent",
+        "bytes_sent",
+        "encode_errors",
+    )
+
+    def __init__(self, transport: "AsyncioUdpTransport", peer: Any):
+        self._transport = transport
+        self.peer = peer
+        self.on_receive: Optional[Callable[[Any], None]] = None  # unused; parity
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.encode_errors = 0
+
+    def send(self, packet: Any, size_bytes: int) -> None:
+        """Encode ``packet`` and transmit one datagram to the peer.
+
+        ``size_bytes`` is the *modeled* wire size used by the protocol's
+        accounting; the actual datagram carries the codec's compact
+        encoding.  A payload the codec cannot represent is counted and
+        dropped (the PoR link treats it as loss), so one unsupported
+        control object cannot crash the node's send path.
+        """
+        try:
+            data = encode_datagram(self._transport.node_id, self.peer, packet)
+        except WireEncodeError:
+            self.encode_errors += 1
+            self._transport.note_encode_error()
+            return
+        self.packets_sent += 1
+        self.bytes_sent += len(data)
+        self._transport.sendto(self.peer, data)
+
+    def time_until_idle(self) -> float:
+        """The kernel buffers sends; the channel is always ready."""
+        return 0.0
+
+
+class AsyncioUdpTransport(asyncio.DatagramProtocol):
+    """One overlay node's UDP socket plus per-neighbor dispatch."""
+
+    def __init__(self, node_id: Any, metrics: Any = None):
+        self.node_id = node_id
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._peers: Dict[Any, Address] = {}
+        self._inbound: Dict[Any, UdpReceiveChannel] = {}
+        # Drop accounting (spray-resistance observability).
+        self.datagrams_received = 0
+        self.bytes_received = 0
+        self.decode_errors = 0
+        self.misdirected = 0
+        self.unknown_sender = 0
+        self.encode_errors = 0
+        self._counters = None
+        if metrics is not None:
+            self._counters = {
+                "rx": metrics.counter("live.rx.datagrams"),
+                "rx_bytes": metrics.counter("live.rx.bytes"),
+                "tx": metrics.counter("live.tx.datagrams"),
+                "tx_bytes": metrics.counter("live.tx.bytes"),
+                "drops": metrics.counter("live.rx.drops"),
+            }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    async def open(
+        cls,
+        node_id: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Any = None,
+    ) -> "AsyncioUdpTransport":
+        """Bind a UDP socket for ``node_id`` (port 0 = ephemeral) and
+        return the ready transport."""
+        protocol = cls(node_id, metrics=metrics)
+        loop = asyncio.get_event_loop()
+        await loop.create_datagram_endpoint(
+            lambda: protocol, local_addr=(host, port)
+        )
+        return protocol
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self._transport = transport  # type: ignore[assignment]
+
+    @property
+    def local_address(self) -> Address:
+        """The (host, port) this node's socket is bound to."""
+        if self._transport is None:
+            raise LiveRuntimeError(f"transport for {self.node_id!r} is not bound")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    def close(self) -> None:
+        """Close the socket; safe to call more than once."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_peer(self, peer_id: Any, address: Address) -> UdpReceiveChannel:
+        """Declare a neighbor: where to send, and accept traffic from it."""
+        self._peers[peer_id] = address
+        channel = UdpReceiveChannel(peer_id)
+        self._inbound[peer_id] = channel
+        return channel
+
+    def send_channel(self, peer_id: Any) -> UdpSendChannel:
+        """The sending half of the directed link to ``peer_id``."""
+        if peer_id not in self._peers:
+            raise LiveRuntimeError(
+                f"{self.node_id!r} has no registered peer {peer_id!r}"
+            )
+        return UdpSendChannel(self, peer_id)
+
+    def receive_channel(self, peer_id: Any) -> UdpReceiveChannel:
+        """The receiving half of the directed link from ``peer_id``."""
+        try:
+            return self._inbound[peer_id]
+        except KeyError:
+            raise LiveRuntimeError(
+                f"{self.node_id!r} has no registered peer {peer_id!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Datagram I/O
+    # ------------------------------------------------------------------
+    def sendto(self, peer_id: Any, data: bytes) -> None:
+        """Send raw encoded bytes to a registered peer."""
+        if self._transport is None:
+            return  # shutting down; drop silently
+        address = self._peers.get(peer_id)
+        if address is None:
+            raise LiveRuntimeError(
+                f"{self.node_id!r} has no registered peer {peer_id!r}"
+            )
+        self._transport.sendto(data, address)
+        if self._counters is not None:
+            self._counters["tx"].add()
+            self._counters["tx_bytes"].add(len(data))
+
+    def note_encode_error(self) -> None:
+        """Record a dropped-at-encode packet (see UdpSendChannel.send)."""
+        self.encode_errors += 1
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self.datagrams_received += 1
+        self.bytes_received += len(data)
+        if self._counters is not None:
+            self._counters["rx"].add()
+            self._counters["rx_bytes"].add(len(data))
+        try:
+            datagram = decode_datagram(data)
+        except WireDecodeError:
+            self.decode_errors += 1
+            if self._counters is not None:
+                self._counters["drops"].add()
+            return
+        if datagram.receiver != self.node_id:
+            self.misdirected += 1
+            if self._counters is not None:
+                self._counters["drops"].add()
+            return
+        channel = self._inbound.get(datagram.sender)
+        if channel is None:
+            self.unknown_sender += 1
+            if self._counters is not None:
+                self._counters["drops"].add()
+            return
+        channel.deliver(datagram.packet)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        # ICMP port-unreachable while a peer restarts: UDP is lossy and
+        # the PoR link retransmits, so this is noise, not failure.
+        pass

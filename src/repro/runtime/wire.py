@@ -1,0 +1,566 @@
+"""Deterministic wire codec for live overlay datagrams.
+
+The simulator passes Python objects between nodes by reference; the live
+runtime must put them on real UDP sockets.  This module defines the
+versioned, length-prefixed datagram format and an explicit per-type codec
+for every payload that crosses a Proof-of-Receipt link:
+
+* link envelopes — :class:`~repro.link.por.PorData`,
+  :class:`~repro.link.por.PorAck`, :class:`~repro.link.por.PorHandshake`,
+  and the out-of-stream hello wrapper;
+* overlay payloads carried inside ``PorData`` —
+  :class:`~repro.messaging.message.Message`, ``E2eAck``, ``NeighborAck``,
+  ``StateRequest``, ``Hello``, and
+  :class:`~repro.routing.link_state.LinkStateUpdate`;
+* signature material from :mod:`repro.crypto` — ``None`` (PKI mode NONE),
+  :class:`~repro.crypto.simulated.SimulatedSignature`, raw RSA/HMAC bytes,
+  and integer MAC tags.
+
+Datagram layout (all integers big-endian)::
+
+    0      2      3        4           8
+    +------+------+--------+-----------+----------------- - - -
+    | "IT" | ver  | flags  | body_len  | body (body_len bytes)
+    +------+------+--------+-----------+----------------- - - -
+    body = sender_id | receiver_id | envelope_tag(1B) | envelope fields
+
+Malformed input *never* escapes as ``struct.error`` / ``IndexError`` /
+``UnicodeDecodeError``: :func:`decode_datagram` raises
+:class:`repro.errors.WireDecodeError` for anything truncated, corrupted,
+over-length, or of an unknown version/tag, so a live node can drop bad
+datagrams and keep serving.  Encoding an object the format cannot carry
+(for example an administrator MTMW, which live deployments install out of
+band) raises :class:`repro.errors.WireEncodeError`.
+
+The format is deterministic: encoding the same object twice yields the
+same bytes, and ``decode(encode(x)) == x`` field-for-field (the property
+test in ``tests/test_runtime_wire.py`` drives this with Hypothesis).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.crypto.simulated import SimulatedSignature
+from repro.errors import WireDecodeError, WireEncodeError
+from repro.link.por import PorAck, PorData, PorHandshake, _HelloWrapper
+from repro.messaging.message import (
+    E2eAck,
+    Hello,
+    Message,
+    NeighborAck,
+    Semantics,
+    StateRequest,
+)
+from repro.routing.link_state import LinkStateUpdate
+
+MAGIC = b"IT"
+VERSION = 1
+
+#: Upper bound on an encoded body; larger datagrams are rejected on both
+#: sides (a UDP datagram cannot exceed 64 KiB anyway).
+MAX_BODY = 60_000
+
+# Envelope tags (the outermost object in a datagram).
+_ENV_POR_DATA = 1
+_ENV_POR_ACK = 2
+_ENV_POR_HANDSHAKE = 3
+_ENV_HELLO = 4
+
+# Payload tags (objects carried inside a PorData envelope).
+_PL_MESSAGE = 1
+_PL_E2E_ACK = 2
+_PL_NEIGHBOR_ACK = 3
+_PL_LINK_STATE = 4
+_PL_STATE_REQUEST = 5
+_PL_HELLO = 6
+
+# Signature kinds.
+_SIG_NONE = 0
+_SIG_SIMULATED = 1
+_SIG_BYTES = 2
+_SIG_INT = 3
+
+# Node-id kinds (ids round-trip typed: the sim uses ints for the global
+# cloud and strings elsewhere, and both are dict keys in protocol state).
+_ID_INT = 0
+_ID_STR = 1
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """A decoded datagram: who sent it, whom it addresses, and the packet."""
+
+    sender: Any
+    receiver: Any
+    packet: Any
+
+
+class _Writer:
+    """Append-only binary writer with the codec's primitive types."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    # Primitives ----------------------------------------------------------
+    def u8(self, value: int) -> None:
+        self._parts.append(struct.pack(">B", value))
+
+    def u16(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFF:
+            raise WireEncodeError(f"u16 out of range: {value}")
+        self._parts.append(struct.pack(">H", value))
+
+    def u32(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise WireEncodeError(f"u32 out of range: {value}")
+        self._parts.append(struct.pack(">I", value))
+
+    def i64(self, value: int) -> None:
+        try:
+            self._parts.append(struct.pack(">q", value))
+        except struct.error:
+            raise WireEncodeError(f"i64 out of range: {value}") from None
+
+    def f64(self, value: float) -> None:
+        self._parts.append(struct.pack(">d", value))
+
+    def boolean(self, value: bool) -> None:
+        self.u8(1 if value else 0)
+
+    def raw(self, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise WireEncodeError(f"expected bytes, got {type(value).__name__}")
+        if len(value) > 0xFFFF:
+            raise WireEncodeError(f"bytes field too long ({len(value)})")
+        self.u16(len(value))
+        self._parts.append(bytes(value))
+
+    def text(self, value: str) -> None:
+        self.raw(value.encode("utf-8"))
+
+    def opt_f64(self, value: Optional[float]) -> None:
+        if value is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.f64(value)
+
+    # Domain types --------------------------------------------------------
+    def node_id(self, value: Any) -> None:
+        if isinstance(value, bool):
+            raise WireEncodeError("bool is not a node id")
+        if isinstance(value, int):
+            self.u8(_ID_INT)
+            self.i64(value)
+        elif isinstance(value, str):
+            self.u8(_ID_STR)
+            self.text(value)
+        else:
+            raise WireEncodeError(
+                f"node id must be int or str on the wire, got {type(value).__name__}"
+            )
+
+    def signature(self, value: Any) -> None:
+        if value is None:
+            self.u8(_SIG_NONE)
+        elif isinstance(value, SimulatedSignature):
+            self.u8(_SIG_SIMULATED)
+            self.node_id(value.signer)
+            self.i64(value.tag)
+        elif isinstance(value, (bytes, bytearray)):
+            self.u8(_SIG_BYTES)
+            self.raw(bytes(value))
+        elif isinstance(value, int):
+            self.u8(_SIG_INT)
+            self.i64(value)
+        else:
+            raise WireEncodeError(
+                f"unsupported signature type {type(value).__name__}"
+            )
+
+
+class _Reader:
+    """Bounds-checked binary reader; all failures raise WireDecodeError."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+    def _take(self, count: int) -> bytes:
+        end = self._pos + count
+        if end > len(self._data):
+            raise WireDecodeError(
+                f"truncated datagram: wanted {count} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos:end]
+        self._pos = end
+        return chunk
+
+    # Primitives ----------------------------------------------------------
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack(">q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def boolean(self) -> bool:
+        value = self.u8()
+        if value not in (0, 1):
+            raise WireDecodeError(f"invalid boolean byte {value}")
+        return value == 1
+
+    def raw(self) -> bytes:
+        return self._take(self.u16())
+
+    def text(self) -> str:
+        try:
+            return self.raw().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireDecodeError(f"invalid utf-8 in string field: {exc}") from None
+
+    def opt_f64(self) -> Optional[float]:
+        flag = self.u8()
+        if flag == 0:
+            return None
+        if flag != 1:
+            raise WireDecodeError(f"invalid optional flag {flag}")
+        return self.f64()
+
+    # Domain types --------------------------------------------------------
+    def node_id(self) -> Any:
+        kind = self.u8()
+        if kind == _ID_INT:
+            return self.i64()
+        if kind == _ID_STR:
+            return self.text()
+        raise WireDecodeError(f"unknown node-id kind {kind}")
+
+    def signature(self) -> Any:
+        kind = self.u8()
+        if kind == _SIG_NONE:
+            return None
+        if kind == _SIG_SIMULATED:
+            return SimulatedSignature(signer=self.node_id(), tag=self.i64())
+        if kind == _SIG_BYTES:
+            return self.raw()
+        if kind == _SIG_INT:
+            return self.i64()
+        raise WireDecodeError(f"unknown signature kind {kind}")
+
+
+# ----------------------------------------------------------------------
+# Overlay payloads (carried inside PorData)
+# ----------------------------------------------------------------------
+def _encode_payload(writer: _Writer, payload: Any) -> None:
+    if isinstance(payload, Message):
+        writer.u8(_PL_MESSAGE)
+        writer.node_id(payload.source)
+        writer.node_id(payload.dest)
+        writer.i64(payload.seq)
+        writer.u8(1 if payload.semantics is Semantics.PRIORITY else 2)
+        writer.i64(payload.priority)
+        writer.opt_f64(payload.expiration)
+        writer.u32(payload.size_bytes)
+        writer.boolean(payload.flooding)
+        if payload.paths is None:
+            writer.u16(0xFFFF)
+        else:
+            if len(payload.paths) >= 0xFFFF:
+                raise WireEncodeError("too many paths")
+            writer.u16(len(payload.paths))
+            for path in payload.paths:
+                writer.u16(len(path))
+                for hop in path:
+                    writer.node_id(hop)
+        writer.f64(payload.sent_at)
+        _encode_app_payload(writer, payload.payload)
+        writer.signature(payload.signature)
+    elif isinstance(payload, E2eAck):
+        writer.u8(_PL_E2E_ACK)
+        writer.node_id(payload.dest)
+        writer.i64(payload.stamp)
+        writer.u16(len(payload.cumulative))
+        for source, seq in payload.cumulative:
+            writer.text(source)
+            writer.i64(seq)
+        writer.signature(payload.signature)
+    elif isinstance(payload, NeighborAck):
+        writer.u8(_PL_NEIGHBOR_ACK)
+        writer.node_id(payload.sender)
+        writer.u16(len(payload.entries))
+        for (source, dest), stored_h, limit in payload.entries:
+            writer.text(source)
+            writer.text(dest)
+            writer.i64(stored_h)
+            writer.i64(limit)
+    elif isinstance(payload, LinkStateUpdate):
+        writer.u8(_PL_LINK_STATE)
+        writer.node_id(payload.issuer)
+        writer.node_id(payload.edge_a)
+        writer.node_id(payload.edge_b)
+        writer.f64(payload.weight)
+        writer.i64(payload.seqno)
+        writer.signature(payload.signature)
+    elif isinstance(payload, StateRequest):
+        writer.u8(_PL_STATE_REQUEST)
+        writer.node_id(payload.sender)
+    elif isinstance(payload, Hello):
+        writer.u8(_PL_HELLO)
+        writer.node_id(payload.sender)
+        writer.i64(payload.stamp)
+    else:
+        raise WireEncodeError(
+            f"payload type {type(payload).__name__} is not supported on the "
+            "live wire (administrator MTMWs are installed out of band)"
+        )
+
+
+def _encode_app_payload(writer: _Writer, payload: Any) -> None:
+    """The opaque application payload: None, bytes, or text."""
+    if payload is None:
+        writer.u8(0)
+    elif isinstance(payload, (bytes, bytearray)):
+        writer.u8(1)
+        writer.raw(bytes(payload))
+    elif isinstance(payload, str):
+        writer.u8(2)
+        writer.text(payload)
+    else:
+        raise WireEncodeError(
+            "live-mode application payloads must be None, bytes, or str "
+            f"(got {type(payload).__name__})"
+        )
+
+
+def _decode_app_payload(reader: _Reader) -> Any:
+    kind = reader.u8()
+    if kind == 0:
+        return None
+    if kind == 1:
+        return reader.raw()
+    if kind == 2:
+        return reader.text()
+    raise WireDecodeError(f"unknown application-payload kind {kind}")
+
+
+def _decode_payload(reader: _Reader) -> Any:
+    tag = reader.u8()
+    if tag == _PL_MESSAGE:
+        source = reader.node_id()
+        dest = reader.node_id()
+        seq = reader.i64()
+        semantics_byte = reader.u8()
+        if semantics_byte == 1:
+            semantics = Semantics.PRIORITY
+        elif semantics_byte == 2:
+            semantics = Semantics.RELIABLE
+        else:
+            raise WireDecodeError(f"unknown semantics byte {semantics_byte}")
+        priority = reader.i64()
+        expiration = reader.opt_f64()
+        size_bytes = reader.u32()
+        flooding = reader.boolean()
+        path_count = reader.u16()
+        paths: Optional[Tuple[Tuple[Any, ...], ...]]
+        if path_count == 0xFFFF:
+            paths = None
+        else:
+            paths = tuple(
+                tuple(reader.node_id() for _ in range(reader.u16()))
+                for _ in range(path_count)
+            )
+        sent_at = reader.f64()
+        app_payload = _decode_app_payload(reader)
+        signature = reader.signature()
+        return Message(
+            source=source,
+            dest=dest,
+            seq=seq,
+            semantics=semantics,
+            priority=priority,
+            expiration=expiration,
+            size_bytes=size_bytes,
+            flooding=flooding,
+            paths=paths,
+            sent_at=sent_at,
+            payload=app_payload,
+            signature=signature,
+        )
+    if tag == _PL_E2E_ACK:
+        dest = reader.node_id()
+        stamp = reader.i64()
+        cumulative = tuple(
+            (reader.text(), reader.i64()) for _ in range(reader.u16())
+        )
+        return E2eAck(dest, stamp, cumulative, reader.signature())
+    if tag == _PL_NEIGHBOR_ACK:
+        sender = reader.node_id()
+        entries = tuple(
+            ((reader.text(), reader.text()), reader.i64(), reader.i64())
+            for _ in range(reader.u16())
+        )
+        return NeighborAck(sender, entries)
+    if tag == _PL_LINK_STATE:
+        return LinkStateUpdate(
+            issuer=reader.node_id(),
+            edge_a=reader.node_id(),
+            edge_b=reader.node_id(),
+            weight=reader.f64(),
+            seqno=reader.i64(),
+            signature=reader.signature(),
+        )
+    if tag == _PL_STATE_REQUEST:
+        return StateRequest(reader.node_id())
+    if tag == _PL_HELLO:
+        return Hello(reader.node_id(), reader.i64())
+    raise WireDecodeError(f"unknown payload tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Link envelopes
+# ----------------------------------------------------------------------
+def _encode_envelope(writer: _Writer, packet: Any) -> None:
+    if isinstance(packet, PorData):
+        writer.u8(_ENV_POR_DATA)
+        writer.i64(packet.epoch)
+        writer.i64(packet.seq)
+        writer.raw(packet.nonce)
+        writer.u32(packet.wire_size)
+        writer.signature(packet.mac)
+        _encode_payload(writer, packet.payload)
+    elif isinstance(packet, PorAck):
+        writer.u8(_ENV_POR_ACK)
+        writer.i64(packet.epoch)
+        writer.i64(packet.cum_seq)
+        writer.raw(packet.proof)
+        writer.u16(len(packet.missing))
+        for seq in packet.missing:
+            writer.i64(seq)
+        writer.signature(packet.mac)
+    elif isinstance(packet, PorHandshake):
+        writer.u8(_ENV_POR_HANDSHAKE)
+        writer.node_id(packet.sender)
+        writer.raw(packet.dh_public)
+        writer.signature(packet.signature)
+    elif isinstance(packet, _HelloWrapper):
+        writer.u8(_ENV_HELLO)
+        writer.node_id(packet.hello.sender)
+        writer.i64(packet.hello.stamp)
+    else:
+        raise WireEncodeError(
+            f"unsupported link envelope {type(packet).__name__}"
+        )
+
+
+def _decode_envelope(reader: _Reader) -> Any:
+    tag = reader.u8()
+    if tag == _ENV_POR_DATA:
+        epoch = reader.i64()
+        seq = reader.i64()
+        nonce = reader.raw()
+        wire_size = reader.u32()
+        mac = reader.signature()
+        payload = _decode_payload(reader)
+        packet = PorData(epoch, seq, nonce, payload, wire_size)
+        packet.mac = mac
+        return packet
+    if tag == _ENV_POR_ACK:
+        epoch = reader.i64()
+        cum_seq = reader.i64()
+        proof = reader.raw()
+        missing = tuple(reader.i64() for _ in range(reader.u16()))
+        mac = reader.signature()
+        packet = PorAck(epoch, cum_seq, proof, missing)
+        packet.mac = mac
+        return packet
+    if tag == _ENV_POR_HANDSHAKE:
+        return PorHandshake(reader.node_id(), reader.raw(), reader.signature())
+    if tag == _ENV_HELLO:
+        return _HelloWrapper(Hello(reader.node_id(), reader.i64()))
+    raise WireDecodeError(f"unknown envelope tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def encode_datagram(sender: Any, receiver: Any, packet: Any) -> bytes:
+    """Encode one link packet as a self-delimiting datagram.
+
+    ``sender`` / ``receiver`` are the overlay node ids of the directed
+    link the packet travels on; the receiving transport uses them to
+    dispatch to the right PoR endpoint and to drop misdirected traffic.
+    """
+    body = _Writer()
+    body.node_id(sender)
+    body.node_id(receiver)
+    _encode_envelope(body, packet)
+    encoded = body.getvalue()
+    if len(encoded) > MAX_BODY:
+        raise WireEncodeError(
+            f"encoded body is {len(encoded)} bytes (max {MAX_BODY})"
+        )
+    return MAGIC + struct.pack(">BBI", VERSION, 0, len(encoded)) + encoded
+
+
+def decode_datagram(data: bytes) -> Datagram:
+    """Decode one datagram; raises :class:`WireDecodeError` on any defect.
+
+    Rejects bad magic, unknown versions, truncated bodies, trailing
+    garbage, over-length claims, and unknown tags — a live node treats
+    all of these as "not our traffic" and drops the datagram.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise WireDecodeError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if len(data) < 8:
+        raise WireDecodeError(f"datagram too short ({len(data)} bytes)")
+    if data[:2] != MAGIC:
+        raise WireDecodeError("bad magic")
+    version, _flags, body_len = struct.unpack(">BBI", data[2:8])
+    if version != VERSION:
+        raise WireDecodeError(f"unsupported wire version {version}")
+    if body_len > MAX_BODY:
+        raise WireDecodeError(f"body length {body_len} exceeds maximum")
+    body = data[8:]
+    if len(body) != body_len:
+        raise WireDecodeError(
+            f"length mismatch: header claims {body_len}, body has {len(body)}"
+        )
+    reader = _Reader(body)
+    try:
+        sender = reader.node_id()
+        receiver = reader.node_id()
+        packet = _decode_envelope(reader)
+    except WireDecodeError:
+        raise
+    except (struct.error, IndexError, ValueError, OverflowError) as exc:
+        # Belt and braces: the reader's bounds checks should catch
+        # everything, but no primitive error may escape to the caller.
+        raise WireDecodeError(f"malformed datagram: {exc}") from None
+    if not reader.exhausted:
+        raise WireDecodeError("trailing bytes after envelope")
+    return Datagram(sender=sender, receiver=receiver, packet=packet)

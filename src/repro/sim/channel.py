@@ -20,10 +20,12 @@ Proof-of-Receipt link tolerates both anyway.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import ConfigurationError
-from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.runtime.interfaces import SchedulerLike
 
 
 @dataclass(frozen=True)
@@ -70,11 +72,17 @@ class Channel:
     channel serializes it (advancing ``busy_until``), applies loss, and
     schedules delivery.  :meth:`time_until_idle` lets a pacing sender ask
     how long until the channel can accept the next packet without queueing.
+
+    ``(send, time_until_idle, on_receive)`` is exactly the
+    :class:`repro.runtime.interfaces.TransportLike` seam; the live
+    runtime's UDP channels implement the same surface, so the protocol
+    stack runs unmodified over either substrate (``SimTransport`` below
+    names this role explicitly).
     """
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SchedulerLike,
         config: ChannelConfig,
         name: str = "channel",
     ):
@@ -183,3 +191,10 @@ class Channel:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self._up else "down"
         return f"Channel({self.name}, {state}, sent={self.packets_sent})"
+
+
+#: The simulated substrate's implementation of the Transport seam
+#: (:class:`repro.runtime.interfaces.TransportLike`); the live runtime's
+#: counterpart is :class:`repro.runtime.transport.UdpSendChannel` /
+#: :class:`~repro.runtime.transport.UdpReceiveChannel`.
+SimTransport = Channel

@@ -15,10 +15,12 @@ synchronously), so benign-mode simulations pay no overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ConfigurationError
-from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.runtime.interfaces import SchedulerLike
 
 
 _COST_FIELDS = (
@@ -75,7 +77,7 @@ class Cpu:
     CPU-bound behaviour Table II measures.
     """
 
-    def __init__(self, sim: Simulator, costs: CpuCosts, name: str = "cpu"):
+    def __init__(self, sim: SchedulerLike, costs: CpuCosts, name: str = "cpu"):
         self._sim = sim
         self.costs = costs
         self.name = name

@@ -9,16 +9,26 @@ order, which keeps runs fully deterministic.
 The engine is intentionally minimal: no processes, no coroutines — just
 callbacks.  Higher layers (links, CPU models, protocol timers) build their
 own abstractions on top.
+
+:class:`Simulator` is the simulated implementation of the
+:class:`repro.runtime.interfaces.SchedulerLike` seam (``now`` /
+``schedule`` / ``schedule_at`` / ``call_soon`` / ``rngs``); the live
+runtime's :class:`repro.runtime.scheduler.AsyncioScheduler` implements
+the same surface over a real event loop.  :class:`PeriodicTimer` is
+written against the seam, so protocol heartbeats run unchanged on both.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:
+    from repro.runtime.interfaces import CancellableHandle, SchedulerLike
 
 
 class EventHandle:
@@ -271,13 +281,13 @@ class PeriodicTimer:
     ``n * 0.1`` does not).
     """
 
-    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], None]):
+    def __init__(self, sim: SchedulerLike, interval: float, callback: Callable[[], None]):
         if interval <= 0:
             raise SimulationError(f"timer interval must be positive (got {interval})")
         self._sim = sim
         self._interval = interval
         self._callback = callback
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional[CancellableHandle] = None
         self._epoch = 0.0
         self._ticks = 0
 

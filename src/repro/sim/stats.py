@@ -19,10 +19,14 @@ recorders that the overlay and the benchmark harness share:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.engine import Simulator
 from repro.telemetry.metrics import Counter, MetricsRegistry
+
+if TYPE_CHECKING:
+    # Stats only read the clock, so any ClockLike substrate works —
+    # the simulator for simulated runs, AsyncioScheduler for live ones.
+    from repro.runtime.interfaces import ClockLike
 
 __all__ = [
     "Counter",
@@ -72,7 +76,7 @@ class GoodputMeter:
     not to delivered messages.)
     """
 
-    def __init__(self, sim: Simulator, interval: float = 1.0, name: str = "goodput"):
+    def __init__(self, sim: ClockLike, interval: float = 1.0, name: str = "goodput"):
         self._sim = sim
         self.interval = interval
         self.name = name
@@ -218,7 +222,7 @@ class StatsRegistry:
     simulation-time semantics the generic registry doesn't know about.
     """
 
-    def __init__(self, sim: Simulator, metrics: Optional[MetricsRegistry] = None):
+    def __init__(self, sim: ClockLike, metrics: Optional[MetricsRegistry] = None):
         self._sim = sim
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._meters: Dict[str, GoodputMeter] = {}
