@@ -27,6 +27,13 @@ Commands
     localhost (:mod:`repro.runtime`), inject priority + reliable client
     traffic for a wall-clock duration, and print per-flow delivery.
     Ctrl-C shuts down gracefully and still prints the report.
+``perfbench``
+    Run the hot-path microbenchmark suite (:mod:`repro.perf`): message
+    forwarding, flooding fanout, K-paths computation, PoR round trips,
+    and priority-queue eviction at fixed seeds.  Emits the
+    ``BENCH_perf.json`` payload and, with ``--baseline``, acts as the
+    perf-regression gate (exit 1 on >25 % ops/sec regression, after
+    machine-speed calibration).
 """
 
 from __future__ import annotations
@@ -256,6 +263,47 @@ def cmd_live(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_perfbench(args: argparse.Namespace) -> int:
+    """``repro perfbench``: hot-path microbenchmarks + regression gate."""
+    import json
+
+    from repro.perf import attach_pre_pr, compare_to_baseline, run_suite
+
+    mode = "quick" if args.quick else "full"
+    print(f"perfbench: mode={mode} seed={args.seed}")
+    report = run_suite(mode=mode, seed=args.seed)
+    if args.merge_pre_pr:
+        with open(args.merge_pre_pr, "r", encoding="utf-8") as handle:
+            attach_pre_pr(report, json.load(handle))
+    for name, result in report["benchmarks"].items():
+        speedup = report.get("speedup_vs_pre_pr", {}).get(name)
+        extra = f"  ({speedup:.2f}x vs pre-PR)" if speedup is not None else ""
+        print(f"  {name:<20} {result['ops_per_sec']:>12,.0f} ops/s  "
+              f"p50 {result['p50_us']:7.2f} us  p99 {result['p99_us']:8.2f} us"
+              f"{extra}")
+    print(f"  calibration: {report['calibration_ops_per_sec']:,.0f} loop iters/s")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote perf report to {args.output}")
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        rows = compare_to_baseline(report, baseline,
+                                   max_regression=args.max_regression)
+        failed = [name for name, _, ok in rows if not ok]
+        for name, ratio, ok in rows:
+            verdict = "ok" if ok else "REGRESSION"
+            print(f"  gate {name:<20} {ratio:6.2f}x of baseline  {verdict}")
+        if failed:
+            print(f"perf regression on: {', '.join(failed)} "
+                  f"(>{args.max_regression:.0%} below calibrated baseline)")
+            return 1
+        print("perf gate: all hot paths within budget")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -336,6 +384,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit 1 if overall delivery falls below this "
                            "fraction (CI gate)")
     live.set_defaults(func=cmd_live)
+
+    perfbench = sub.add_parser(
+        "perfbench", help="hot-path microbenchmarks + perf-regression gate"
+    )
+    perfbench.add_argument("--quick", action="store_true",
+                           help="reduced op counts (CI gate mode)")
+    perfbench.add_argument("--seed", type=int, default=0)
+    perfbench.add_argument("--output", default=None,
+                           help="write the BENCH_perf.json payload to a file")
+    perfbench.add_argument("--baseline", default=None,
+                           help="compare against a committed BENCH_perf.json; "
+                                "exit 1 on regression")
+    perfbench.add_argument("--max-regression", type=float, default=0.25,
+                           help="tolerated ops/sec drop vs the calibrated "
+                                "baseline (default 0.25)")
+    perfbench.add_argument("--merge-pre-pr", default=None,
+                           help="record a pre-PR measurement's ops/sec and "
+                                "speedups inside the report")
+    perfbench.set_defaults(func=cmd_perfbench)
     return parser
 
 

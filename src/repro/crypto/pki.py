@@ -74,6 +74,14 @@ class Pki:
         self._sim_secrets: Dict[Any, int] = {}
         self._sim_verifier = SimulatedVerifier(self._sim_secrets)
         self._identities: Dict[Any, Identity] = {}
+        #: Monotonic key-material generation.  Bumped whenever the set of
+        #: valid (identity, key) pairs changes — new registration or key
+        #: rotation — so callers caching verification verdicts (e.g.
+        #: ``Message.verify``) can key them by ``(pki, epoch)`` and never
+        #: serve a verdict computed under superseded key material.
+        self.epoch = 0
+        #: Per-identity rotation counts (feeds key derivation).
+        self._rotations: Dict[Any, int] = {}
         # Crypto-op accounting (attach_metrics); None keeps the hot path
         # to a single identity check per operation.
         self._ops: Dict[str, Any] = None  # type: ignore[assignment]
@@ -104,15 +112,43 @@ class Pki:
         identity = self._identities.get(node_id)
         if identity is not None:
             return identity
-        if self.mode is PkiMode.REAL:
-            seed = hashlib.sha256(f"{self._seed}:{node_id}".encode("utf-8")).digest()
-            self._rsa_keys[node_id] = keypair_from_seed(seed, bits=self._rsa_bits)
-        elif self.mode is PkiMode.SIMULATED:
-            digest = hashlib.sha256(f"{self._seed}:sim:{node_id}".encode("utf-8")).digest()
-            self._sim_secrets[node_id] = int.from_bytes(digest[:8], "big")
+        self._install_keys(node_id, rotation=0)
         identity = Identity(self, node_id)
         self._identities[node_id] = identity
+        # Registration changes verification outcomes (unknown-signer
+        # verdicts flip), so cached verdicts from before are stale.
+        self.epoch += 1
+        self._sim_verifier.invalidate()
         return identity
+
+    def rotate(self, node_id: Any) -> Identity:
+        """Replace ``node_id``'s key pair with a freshly derived one.
+
+        Signatures produced under the old key no longer verify, and the
+        epoch bump invalidates every cached verdict (per-message caches
+        and the simulated-verifier memo alike).
+        """
+        identity = self.identity(node_id)
+        rotation = self._rotations.get(node_id, 0) + 1
+        self._rotations[node_id] = rotation
+        self._install_keys(node_id, rotation=rotation)
+        self.epoch += 1
+        self._sim_verifier.invalidate()
+        return identity
+
+    def _install_keys(self, node_id: Any, rotation: int) -> None:
+        """Derive and store key material for ``node_id``."""
+        suffix = "" if rotation == 0 else f":rot{rotation}"
+        if self.mode is PkiMode.REAL:
+            seed = hashlib.sha256(
+                f"{self._seed}:{node_id}{suffix}".encode("utf-8")
+            ).digest()
+            self._rsa_keys[node_id] = keypair_from_seed(seed, bits=self._rsa_bits)
+        elif self.mode is PkiMode.SIMULATED:
+            digest = hashlib.sha256(
+                f"{self._seed}:sim:{node_id}{suffix}".encode("utf-8")
+            ).digest()
+            self._sim_secrets[node_id] = int.from_bytes(digest[:8], "big")
 
     def identity(self, node_id: Any) -> Identity:
         """Look up an existing identity; raises CryptoError if unknown."""

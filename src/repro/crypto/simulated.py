@@ -27,6 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Tuple
 
+from repro.caching import LruCache
+
+#: Bound on the verification memo: large enough that a saturated
+#: benchmark's working set (messages in flight x hops) fits, small
+#: enough that a long soak cannot grow without limit.
+VERIFY_MEMO_SIZE = 8192
+
+_MISS = object()
+
 
 @dataclass(frozen=True)
 class SimulatedSignature:
@@ -65,10 +74,24 @@ class SimulatedVerifier:
     """Verifies simulated signatures given access to the secret table.
 
     Only the PKI constructs this; protocol code sees just ``verify``.
+
+    Verdicts are memoized in a bounded LRU keyed by the *complete* check
+    — ``(signer, fields, tag)`` — so a memo hit is answering exactly the
+    question that was previously computed (no digest truncation that a
+    collision could exploit).  The PKI calls :meth:`invalidate` whenever
+    any secret changes (key rotation) or a new identity registers, so a
+    memoized verdict can never outlive the key material it attests to.
+    Unhashable field values (only constructible by test/attack code —
+    protocol tuples are hashable) skip the memo entirely.
     """
 
     def __init__(self, secrets_by_identity: dict):
         self._secrets = secrets_by_identity
+        self._memo: LruCache[bool] = LruCache(VERIFY_MEMO_SIZE)
+
+    def invalidate(self) -> None:
+        """Forget every memoized verdict (key material changed)."""
+        self._memo.clear()
 
     def verify(self, signer: Any, fields: Tuple[Any, ...], signature: SimulatedSignature) -> bool:
         """Check a simulated signature against the signer's secret."""
@@ -77,7 +100,17 @@ class SimulatedVerifier:
         secret = self._secrets.get(signer)
         if secret is None:
             return False
-        return signature.tag == hash((secret, fields))
+        memo = self._memo
+        try:
+            key = (signer, fields, signature.tag)
+            cached = memo.get(key, _MISS)
+        except TypeError:  # unhashable field value: just verify directly
+            return signature.tag == hash((secret, fields))
+        if cached is not _MISS:
+            return cached  # type: ignore[return-value]
+        verdict = signature.tag == hash((secret, fields))
+        memo.put(key, verdict)
+        return verdict
 
     def verify_mac(self, identity: Any, fields: Tuple[Any, ...], tag: int) -> bool:
         """Check a simulated symmetric MAC tag."""

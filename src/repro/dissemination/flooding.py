@@ -34,6 +34,15 @@ def flood_targets(
     else:
         targets = [n for n in neighbors if n != from_neighbor]
     if metrics is not None:
-        metrics.counter("dissemination.flood.calls").add()
-        metrics.counter("dissemination.flood.fanout").add(len(targets))
+        # Counters are stable registry objects; resolve them once per
+        # registry and cache the pair (this runs per flooded message).
+        counters = getattr(metrics, "_flood_counter_cache", None)
+        if counters is None:
+            counters = (
+                metrics.counter("dissemination.flood.calls"),
+                metrics.counter("dissemination.flood.fanout"),
+            )
+            metrics._flood_counter_cache = counters
+        counters[0].add()
+        counters[1].add(len(targets))
     return targets

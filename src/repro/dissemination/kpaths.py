@@ -12,9 +12,38 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.caching import LruCache
 from repro.topology.graph import NodeId
 
 Paths = Sequence[Tuple[NodeId, ...]]
+
+#: Successor-scan memo.  Every message of a flow carries the *same* path
+#: tuple (the route cache hands out shared objects), so the scan result
+#: for a (node, paths, arrival) triple repeats for the flow's lifetime.
+#: The memo is a pure function of its key — node position within signed
+#: immutable paths — so it never needs invalidation, only bounding.
+_SUCCESSOR_CACHE_SIZE = 4096
+_successor_cache: LruCache[Tuple[List[NodeId], int]] = LruCache(_SUCCESSOR_CACHE_SIZE)
+
+_MISS = object()
+
+
+def _kpaths_counters(metrics: Any):
+    """The module's three counters, resolved once per registry.
+
+    Counters are stable, never-removed objects inside a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`, so the resolved
+    tuple is cached on the registry itself — this runs on every
+    forwarding decision."""
+    counters = getattr(metrics, "_kpaths_counter_cache", None)
+    if counters is None:
+        counters = (
+            metrics.counter("dissemination.kpaths.calls"),
+            metrics.counter("dissemination.kpaths.successors"),
+            metrics.counter("dissemination.kpaths.violations"),
+        )
+        metrics._kpaths_counter_cache = counters
+    return counters
 
 
 def path_successors(
@@ -32,27 +61,41 @@ def path_successors(
 
     When ``metrics`` is supplied, ``dissemination.kpaths.calls``,
     ``.successors``, and ``.violations`` track forwarding decisions and
-    detected replay/misrouting across the whole deployment.
+    detected replay/misrouting across the whole deployment.  Telemetry is
+    counted per *call*, cache hit or not, so memoization never changes
+    the recorded dissemination counters.
     """
-    successors: List[NodeId] = []
-    violations = 0
-    for path in paths:
-        for i, hop in enumerate(path):
-            if hop != node_id:
-                continue
-            legitimate = (i == 0 and from_neighbor is None) or (
-                i > 0 and from_neighbor == path[i - 1]
-            )
-            if not legitimate:
-                violations += 1
-                continue
-            if i + 1 < len(path):
-                successors.append(path[i + 1])
+    try:
+        key = (node_id, paths if isinstance(paths, tuple) else None, from_neighbor)
+        cached = _successor_cache.get(key, _MISS) if key[1] is not None else _MISS
+    except TypeError:  # unhashable path contents: skip the memo
+        key = (node_id, None, from_neighbor)
+        cached = _MISS
+    if cached is not _MISS:
+        successors, violations = cached  # type: ignore[misc]
+    else:
+        successors = []
+        violations = 0
+        for path in paths:
+            for i, hop in enumerate(path):
+                if hop != node_id:
+                    continue
+                legitimate = (i == 0 and from_neighbor is None) or (
+                    i > 0 and from_neighbor == path[i - 1]
+                )
+                if not legitimate:
+                    violations += 1
+                    continue
+                if i + 1 < len(path):
+                    successors.append(path[i + 1])
+        if key[1] is not None:
+            _successor_cache.put(key, (successors, violations))
     if metrics is not None:
-        metrics.counter("dissemination.kpaths.calls").add()
-        metrics.counter("dissemination.kpaths.successors").add(len(successors))
+        calls, succ, viol = _kpaths_counters(metrics)
+        calls.add()
+        succ.add(len(successors))
         if violations:
-            metrics.counter("dissemination.kpaths.violations").add(violations)
+            viol.add(violations)
     return successors, violations
 
 

@@ -37,7 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
+from repro.caching import LruCache
 from repro.crypto.dh import DiffieHellman
+from repro.crypto.encoding import canonical_bytes
 from repro.crypto.mac import hmac_sha256, verify_hmac
 from repro.crypto.nonces import NONCE_SIZE, CumulativeNonceChain, NonceVerifier
 from repro.crypto.pki import Pki, PkiMode
@@ -212,6 +214,11 @@ class PorEndpoint:
         # Crypto state.
         self._established = False
         self._link_key: Optional[bytes] = None
+        # REAL-mode MAC verification memo: a retransmitted packet carries
+        # the identical (encoding, tag) pair, so its recheck is a dict
+        # hit instead of an HMAC.  Keyed by the complete check; cleared
+        # whenever the link key changes (fresh handshake / re-key).
+        self._mac_memo: LruCache[bool] = LruCache(1024)
         self._dh: Optional[DiffieHellman] = None
         self._handshake_timer: Optional[CancellableHandle] = None
         self._handshake_attempts = 0
@@ -271,6 +278,7 @@ class PorEndpoint:
         Diffie-Hellman exchange on every experiment.
         """
         self._link_key = self.pki.link_secret(self.node_id, self.peer_id)
+        self._mac_memo.clear()
         self._established = True
 
     #: Give up re-offering the handshake after this many attempts; the
@@ -441,10 +449,21 @@ class PorEndpoint:
         if self._mac_counters is not None:
             self._mac_counters[1].add()
         if self._real_crypto:
+            # Memoized per (encoding, tag) under the current link key —
+            # retransmissions recheck for a dict hit, not an HMAC.
+            encoded = self._encode_for_mac(packet)
+            key = (encoded, packet.mac)
+            memo = self._mac_memo
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
             try:
-                verify_hmac(self._link_key, self._encode_for_mac(packet), packet.mac)
+                verify_hmac(self._link_key, encoded, packet.mac)
+                verdict = True
             except Exception:
-                return False
+                verdict = False
+            memo.put(key, verdict)
+            return verdict
         return True
 
     def _on_data(self, packet: PorData) -> None:
@@ -611,6 +630,7 @@ class PorEndpoint:
             self._send_handshake_offer()
         peer_public = int.from_bytes(msg.dh_public, "big")
         self._link_key = self._dh.compute_shared(peer_public)
+        self._mac_memo.clear()
         already_established = self._established
         self._established = True
         if self._handshake_timer is not None:
@@ -626,8 +646,6 @@ class PorEndpoint:
         return self.pki.mode is PkiMode.REAL and self._link_key is not None
 
     def _encode_for_mac(self, packet: Any) -> bytes:
-        from repro.crypto.encoding import canonical_bytes
-
         return canonical_bytes(packet.mac_fields())
 
 

@@ -8,12 +8,24 @@ breaking the signature) or the constrained-flooding flag.
 
 ``Message`` objects are immutable; a Byzantine forwarder that wants to
 tamper must build a modified copy, whose signature then fails to verify.
+
+Performance: messages are forwarded by reference (copy elision — every
+hop offers the *same* immutable object to its link queues, sharing the
+payload and path tuples), and the derived values each hop needs —
+the canonical signed-field tuple, the duplicate-suppression ``uid``, and
+the signature verdict — are computed once per object and cached in
+dedicated slots.  The caches are safe precisely because the dataclass is
+frozen: any tamper requires ``dataclasses.replace``, which builds a new
+object with *empty* caches (``init=False`` fields are reinitialized, not
+copied), so a modified copy can never inherit a stale "verified" verdict.
+The verify cache additionally records the PKI instance and its key
+``epoch``, so rotating a key invalidates every previously cached verdict.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Tuple
 
 from repro.crypto.pki import Pki
@@ -39,7 +51,7 @@ class Semantics(enum.Enum):
     RELIABLE = "reliable"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One overlay data message.
 
@@ -83,11 +95,27 @@ class Message:
     sent_at: float = 0.0
     payload: Any = None
     signature: Any = None
+    # Per-object derived-value caches.  Excluded from __init__, __eq__,
+    # __hash__, and __repr__, so semantics are identical to the uncached
+    # dataclass; ``replace`` resets them (a tampered copy starts cold).
+    _signed_fields_cache: Optional[Tuple[Any, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _uid_cache: Optional[Tuple[Any, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: (pki instance, pki.epoch at verification time, verdict)
+    _verify_cache: Optional[Tuple[Any, int, bool]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def signed_fields(self) -> Tuple[Any, ...]:
         """Canonical tuple of fields covered by the source signature."""
-        return (
+        cached = self._signed_fields_cache
+        if cached is not None:
+            return cached
+        fields = (
             "msg",
             str(self.source),
             str(self.dest),
@@ -100,21 +128,50 @@ class Message:
             tuple(tuple(str(n) for n in p) for p in self.paths) if self.paths else None,
             self.sent_at,
         )
+        object.__setattr__(self, "_signed_fields_cache", fields)
+        return fields
 
     def sign(self, pki: Pki) -> "Message":
         """Return a copy carrying the source's signature."""
-        signature = pki.identity(self.source).sign(self.signed_fields())
-        return replace(self, signature=signature)
+        fields = self.signed_fields()
+        signature = pki.identity(self.source).sign(fields)
+        signed = replace(self, signature=signature)
+        # The signed fields do not cover the signature itself, so the
+        # fresh copy may inherit the canonical tuple (but nothing else).
+        object.__setattr__(signed, "_signed_fields_cache", fields)
+        return signed
 
     def verify(self, pki: Pki) -> bool:
-        """Check the source signature against the PKI."""
-        return pki.verify(self.source, self.signed_fields(), self.signature)
+        """Check the source signature against the PKI.
+
+        The verdict is cached per message object and per PKI key epoch:
+        forwarding the same immutable object across many hops of one
+        node's queues verifies once, while any key rotation (which bumps
+        ``pki.epoch``) or tampered copy (fresh object, cold cache) is
+        re-checked in full.
+        """
+        cached = self._verify_cache
+        epoch = pki.epoch
+        if (
+            cached is not None
+            and cached[0] is pki
+            and cached[1] == epoch
+        ):
+            return cached[2]
+        verdict = pki.verify(self.source, self.signed_fields(), self.signature)
+        object.__setattr__(self, "_verify_cache", (pki, epoch, verdict))
+        return verdict
 
     # ------------------------------------------------------------------
     @property
     def uid(self) -> Tuple[Any, ...]:
         """Network-wide unique id used for duplicate suppression."""
-        return (self.semantics.value, str(self.source), str(self.dest), self.seq)
+        cached = self._uid_cache
+        if cached is not None:
+            return cached
+        uid = (self.semantics.value, str(self.source), str(self.dest), self.seq)
+        object.__setattr__(self, "_uid_cache", uid)
+        return uid
 
     @property
     def flow(self) -> Tuple[NodeId, NodeId]:
@@ -139,7 +196,7 @@ class Message:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class E2eAck:
     """A destination's signed, flooded end-to-end acknowledgment.
 
@@ -154,6 +211,15 @@ class E2eAck:
     stamp: int
     cumulative: Tuple[Tuple[str, int], ...]  # sorted ((source, seq), ...)
     signature: Any = None
+    # Same per-object caches as Message (see its docstring): an ACK is
+    # flooded network-wide, so the verdict cache saves one verification
+    # per additional hop within a node process.
+    _signed_fields_cache: Optional[Tuple[Any, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _verify_cache: Optional[Tuple[Any, int, bool]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @staticmethod
     def make_cumulative(by_source: Dict[NodeId, int]) -> Tuple[Tuple[str, int], ...]:
@@ -162,7 +228,12 @@ class E2eAck:
 
     def signed_fields(self) -> Tuple[Any, ...]:
         """Canonical tuple of fields covered by the destination signature."""
-        return ("e2e-ack", str(self.dest), self.stamp, self.cumulative)
+        cached = self._signed_fields_cache
+        if cached is not None:
+            return cached
+        fields = ("e2e-ack", str(self.dest), self.stamp, self.cumulative)
+        object.__setattr__(self, "_signed_fields_cache", fields)
+        return fields
 
     @classmethod
     def create(
@@ -174,8 +245,15 @@ class E2eAck:
         return cls(dest, stamp, cumulative, signature)
 
     def verify(self, pki: Pki) -> bool:
-        """Check the destination signature against the PKI."""
-        return pki.verify(self.dest, self.signed_fields(), self.signature)
+        """Check the destination signature against the PKI (cached per
+        object and PKI key epoch, exactly like :meth:`Message.verify`)."""
+        cached = self._verify_cache
+        epoch = pki.epoch
+        if cached is not None and cached[0] is pki and cached[1] == epoch:
+            return cached[2]
+        verdict = pki.verify(self.dest, self.signed_fields(), self.signature)
+        object.__setattr__(self, "_verify_cache", (pki, epoch, verdict))
+        return verdict
 
     def seq_for(self, source: NodeId) -> int:
         """Cumulative acked sequence for ``source`` (-1 if absent)."""
@@ -199,7 +277,7 @@ class E2eAck:
         return any(seq > theirs.get(src, -1) for src, seq in self.cumulative)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NeighborAck:
     """Hop-local, unsigned ACK: "for flow F, I have stored up to ``h`` and
     can store up to ``limit``".
@@ -221,7 +299,7 @@ class NeighborAck:
         return NEIGHBOR_ACK_BASE_SIZE + NEIGHBOR_ACK_ENTRY_SIZE * len(self.entries)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hello:
     """Periodic liveness beacon used for link monitoring."""
 
@@ -231,7 +309,7 @@ class Hello:
     WIRE_SIZE = 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateRequest:
     """Sent by a node recovering from a crash (Section V-C2).
 

@@ -37,13 +37,15 @@ class MetadataStore:
         at ``now + max_lifetime`` so a malicious source cannot force
         unbounded metadata retention.
         """
-        self._collect(now)
+        heap = self._heap
+        if heap and heap[0][0] < now:
+            self._collect(now)
         if uid in self._expiry:
             self.duplicates_detected += 1
             return False
         capped = min(expiration, now + self.max_lifetime)
         self._expiry[uid] = capped
-        heapq.heappush(self._heap, (capped, uid))
+        heapq.heappush(heap, (capped, uid))
         return True
 
     def seen(self, uid: Hashable, now: float) -> bool:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
+from repro.dissemination import flood_targets, path_successors
 from repro.errors import ConfigurationError
 from repro.messaging.message import Message
 from repro.messaging.scheduler import RoundRobinQueue
@@ -53,10 +54,10 @@ class _SourceBucket:
         self.live = 0
 
     def push(self, entry: _Entry) -> None:
-        level = self.levels.get(entry.message.priority)
+        priority = entry.message.priority
+        level = self.levels.get(priority)
         if level is None:
-            level = deque()
-            self.levels[entry.message.priority] = level
+            level = self.levels[priority] = deque()
         level.append(entry)
         self.live += 1
 
@@ -129,20 +130,23 @@ class PriorityLinkQueue:
         if message.is_expired(now):
             self.dropped_expired += 1
             return False
-        if message.uid in self._index and not self._index[message.uid].cancelled:
+        uid = message.uid
+        existing = self._index.get(uid)
+        if existing is not None and not existing.cancelled:
             return False  # already queued for this link
         entry = _Entry(message)
-        bucket = self._buckets.get(message.source)
+        source = message.source
+        bucket = self._buckets.get(source)
         if bucket is None:
             bucket = _SourceBucket()
-            self._buckets[message.source] = bucket
+            self._buckets[source] = bucket
         bucket.push(entry)
-        self._index[message.uid] = entry
+        self._index[uid] = entry
         self._live_total += 1
-        self._rr.activate(message.source)
+        self._rr.activate(source)
         if self._live_total > self.capacity:
             victim = self._evict(now)
-            if victim is not None and victim.uid == message.uid:
+            if victim is not None and victim.uid == uid:
                 return False
         return True
 
@@ -233,13 +237,11 @@ class PriorityEngine:
         """Process one verified priority message (local inject or receive)."""
         node = self._node
         now = node.sim.now
-        if message.is_expired(now):
+        expiration = message.expiration
+        if expiration is None:
+            expiration = now + node.config.max_message_lifetime
+        elif now > expiration:  # inlined Message.is_expired
             return
-        expiration = (
-            message.expiration
-            if message.expiration is not None
-            else now + node.config.max_message_lifetime
-        )
         is_new = node.metadata.check_and_record(message.uid, expiration, now)
         if not is_new:
             self.duplicates_suppressed += 1
@@ -268,8 +270,6 @@ class PriorityEngine:
         self._forward(message, from_neighbor)
 
     def _forward(self, message: Message, from_neighbor: Optional[NodeId]) -> None:
-        from repro.dissemination import flood_targets, path_successors
-
         node = self._node
         now = node.sim.now
         if message.flooding:
@@ -289,7 +289,16 @@ class PriorityEngine:
             self.path_violations += violations
         else:
             return
+        links = node.links
         for neighbor in targets:
-            link = node.links.get(neighbor)
-            if link is not None and link.priority_queue.offer(message, now):
+            link = links.get(neighbor)
+            if link is None:
+                continue
+            queue = link.priority_queue
+            had_backlog = len(queue) != 0
+            if queue.offer(message, now) and not had_backlog:
+                # A backlogged link is already blocked on the PoR window
+                # or pacing, and both come with a wake-up (on_ready / a
+                # scheduled retry): pumping again would just re-probe a
+                # closed window on every enqueue.
                 link.pump()

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.dissemination import path_targets
 from repro.messaging.message import E2eAck, Message, NeighborAck
 from repro.topology.graph import NodeId
 
@@ -286,8 +287,6 @@ class ReliableEngine:
         return None
 
     def _forward_targets(self, flow: Flow, state: FlowState) -> List[NodeId]:
-        from repro.dissemination import path_targets
-
         node = self._node
         if state.flooding or not state.paths:
             return list(node.links)

@@ -105,6 +105,8 @@ class LinkSender:
         self.probes_sent = 0
         self.quarantine_count = 0
         self.reinstatements = 0
+        # Counter handles resolved once; pump() pays integer adds only.
+        self._data_tx_counter = node.stats.counter("data_transmissions")
 
         por.on_deliver = self._on_deliver
         por.on_ready = self.pump
@@ -157,14 +159,14 @@ class LinkSender:
         node = self.node
         if node.crashed:
             return
-        if not node.mtmw.are_neighbors(node.node_id, self.neighbor):
+        if self.neighbor not in node._neighbor_set:
             return  # the administrator removed this link from the MTMW
-        while self.por.established and self.por.can_accept():
+        while self.por.can_accept():  # can_accept implies established
             item = self._next_item()
             if item is None:
                 return
             payload, size, raw = item
-            if raw:
+            if raw or node._behavior_passthrough:
                 filtered = payload
             else:
                 filtered = node.behavior.filter_outgoing(payload, self.neighbor, node)
@@ -172,7 +174,7 @@ class LinkSender:
                 continue
             if isinstance(filtered, Message):
                 self.data_transmissions += 1
-                node.stats.counter("data_transmissions").add()
+                self._data_tx_counter.add()
             else:
                 self.control_transmissions += 1
             tx_messages, tx_bytes = node.stats.tx_counters(payload_kind(filtered))
@@ -181,9 +183,12 @@ class LinkSender:
             if node.cpu.enabled and node.cpu.costs.tx_packet > 0.0:
                 node.cpu.execute(node.cpu.costs.tx_packet, _noop)
             self.por.send(filtered, size)
-        if self._pump_event is None and self._has_backlog():
+        if self._pump_event is None:
+            # time_until_ready is the cheap test; only scan for backlog
+            # (which walks the reliable engine's flows) when a retry could
+            # actually be scheduled.
             delay = self.por.time_until_ready()
-            if delay is not None:
+            if delay is not None and self._has_backlog():
                 self._pump_event = node.sim.schedule(max(delay, 1e-5), self._pump_retry)
 
     def _pump_retry(self) -> None:
@@ -202,18 +207,19 @@ class LinkSender:
         if self.control:
             return self.control.popleft()
         first_reliable = self._serve_reliable_next
+        signature_size = node.signature_size
         for attempt in range(2):
             serve_reliable = first_reliable ^ (attempt == 1)
             if serve_reliable:
                 message = node.reliable.next_for_link(self)
                 if message is not None:
                     self._serve_reliable_next = False
-                    return message, message.wire_size(node.pki.signature_wire_size), False
+                    return message, message.wire_size(signature_size), False
             else:
                 message = self.priority_queue.next_message(node.sim.now)
                 if message is not None:
                     self._serve_reliable_next = True
-                    return message, message.wire_size(node.pki.signature_wire_size), False
+                    return message, message.wire_size(signature_size), False
         return None
 
 
@@ -233,6 +239,9 @@ class OverlayNode:
         self.node_id = node_id
         self._mtmw_holder = MtmwHolder(pki, mtmw)
         self.pki = pki
+        #: ``pki.signature_wire_size`` resolved once (the PKI mode never
+        #: changes at runtime); used for per-packet size accounting.
+        self.signature_size = pki.signature_wire_size
         self.config = config
         self.stats = stats
         self.cpu = Cpu(sim, config.cpu_costs, name=f"cpu:{node_id}")
@@ -243,6 +252,10 @@ class OverlayNode:
             update_burst=config.routing_update_burst,
         )
         self.links: Dict[NodeId, LinkSender] = {}
+        # Authorized-neighbor set, denormalized from the MTMW: checked on
+        # every single link delivery, so it must be one hash probe, not a
+        # topology traversal.  Refreshed whenever a new MTMW is adopted.
+        self._neighbor_set = self._authorized_neighbors(mtmw)
         self.metadata = MetadataStore(config.max_message_lifetime)
         self.priority = PriorityEngine(self)
         self.reliable = ReliableEngine(self)
@@ -268,6 +281,28 @@ class OverlayNode:
         """The node's current (newest validly signed) MTMW."""
         return self._mtmw_holder.current
 
+    @property
+    def behavior(self) -> Behavior:
+        """The node's forwarding behavior (honest by default).
+
+        Setting it keeps a pass-through flag in sync so honest nodes —
+        the overwhelmingly common case — skip the per-packet Byzantine
+        filter calls entirely."""
+        return self._behavior
+
+    @behavior.setter
+    def behavior(self, behavior: Behavior) -> None:
+        self._behavior = behavior
+        # Exact type check: subclasses may override the filters.
+        self._behavior_passthrough = type(behavior) is HonestBehavior
+
+    def _authorized_neighbors(self, mtmw: Mtmw) -> frozenset:
+        """This node's MTMW neighbor set (one hash probe on receive)."""
+        topology = mtmw.topology
+        if not topology.has_node(self.node_id):
+            return frozenset()
+        return frozenset(topology.neighbors(self.node_id))
+
     # ------------------------------------------------------------------
     # MTMW redistribution (Section V-A)
     # ------------------------------------------------------------------
@@ -289,6 +324,7 @@ class OverlayNode:
         result = self._mtmw_holder.consider(candidate)
         if result is not MtmwUpdateResult.ACCEPTED:
             return result
+        self._neighbor_set = self._authorized_neighbors(self.mtmw)
         self.routing = RoutingState(
             self.mtmw,
             self.pki,
@@ -305,7 +341,10 @@ class OverlayNode:
         for neighbor, link in self.links.items():
             if neighbor != from_neighbor:
                 link.enqueue_control(candidate, size)
-                link.pump()
+            # Pump every link, not just the flooded ones: adoption may
+            # have re-authorized a previously removed neighbor whose
+            # queue still holds messages with no other wake-up pending.
+            link.pump()
         return result
 
     # ------------------------------------------------------------------
@@ -417,10 +456,13 @@ class OverlayNode:
         return not self.crashed and self.reliable.can_send(dest)
 
     def _compute_paths(self, dest: NodeId, k: int) -> Tuple[Tuple[NodeId, ...], ...]:
-        paths = self.routing.k_paths_best_effort(self.node_id, dest, k)
+        # The routing state hands out one shared tuple per (view, flow, k):
+        # every message of a flow carries the identical object, which keeps
+        # the route computation and downstream successor scans memoized.
+        paths = self.routing.k_paths_tuple(self.node_id, dest, k)
         if not paths:
             raise ProtocolError(f"no path from {self.node_id!r} to {dest!r}")
-        return tuple(tuple(p) for p in paths)
+        return paths
 
     # ------------------------------------------------------------------
     # Receive dispatch
@@ -429,10 +471,11 @@ class OverlayNode:
         """Entry point for every payload delivered by a PoR link."""
         if self.crashed:
             return
-        payload = self.behavior.filter_incoming(payload, neighbor, self)
-        if payload is None:
-            return
-        if not self.mtmw.are_neighbors(self.node_id, neighbor):
+        if not self._behavior_passthrough:
+            payload = self._behavior.filter_incoming(payload, neighbor, self)
+            if payload is None:
+                return
+        if neighbor not in self._neighbor_set:
             # "Overlay nodes only accept messages from their direct
             # neighbors in the MTMW."  A redistributed MTMW itself is
             # still accepted (it is admin-signed and replay-protected,
@@ -489,7 +532,18 @@ class OverlayNode:
         if self.crashed:
             return
         if isinstance(payload, Message):
-            self._charge_verify(self._handle_data, payload, neighbor)
+            # Data is the hot path: with the CPU model disabled, run the
+            # verify-and-handle sequence inline instead of paying two
+            # extra frames (_charge_verify -> _handle_data) per packet.
+            if self.cpu.enabled:
+                self.cpu.verify(self._handle_data, payload, neighbor)
+            elif not payload.verify(self.pki):
+                self.invalid_messages_rejected += 1
+                self.stats.counter("invalid_signatures").add()
+            elif payload.semantics is Semantics.PRIORITY:
+                self.priority.handle(payload, neighbor)
+            else:
+                self.reliable.handle(payload, neighbor)
         elif isinstance(payload, NeighborAck):
             self.reliable.handle_neighbor_ack(payload, neighbor)
         elif isinstance(payload, E2eAck):

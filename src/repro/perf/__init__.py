@@ -1,0 +1,30 @@
+"""Hot-path microbenchmark harness (``python -m repro perfbench``).
+
+:mod:`repro.perf.harness` provides the timing/reporting machinery;
+:mod:`repro.perf.suites` registers the five benchmarks covering message
+forwarding, flooding fanout, K-paths computation, PoR round trips, and
+priority-queue eviction.
+"""
+
+from repro.perf.harness import (
+    BenchResult,
+    Benchmark,
+    attach_pre_pr,
+    build_report,
+    calibrate,
+    compare_to_baseline,
+    run_benchmark,
+)
+from repro.perf.suites import BENCHMARKS, run_suite
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchResult",
+    "Benchmark",
+    "attach_pre_pr",
+    "build_report",
+    "calibrate",
+    "compare_to_baseline",
+    "run_benchmark",
+    "run_suite",
+]

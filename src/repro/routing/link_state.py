@@ -17,17 +17,68 @@ updates from compromised nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Tuple
 
+from repro.caching import LruCache
 from repro.crypto.pki import Pki
 from repro.topology.graph import NodeId
 
 #: Wire size of a link-state update (endpoint ids, weight, seqno, sig).
 UPDATE_WIRE_SIZE = 64
 
+#: Bound on each node's computed-route cache (distinct (kind, source,
+#: dest, k) queries per link-state version actually in play is tiny —
+#: one per active flow — so this never evicts in practice).
+ROUTE_CACHE_SIZE = 512
 
-@dataclass(frozen=True)
+_MISS = object()
+
+
+class RouteCache:
+    """LRU over computed routes, invalidated by link-state sequencing.
+
+    Every accepted link-state update advances the owning
+    :class:`~repro.routing.state.RoutingState`'s ``version`` (its
+    sequence-number-gated view of the topology).  Cache keys embed the
+    version at computation time, so a route computed on a superseded view
+    can never be returned: after an update the lookup key simply no
+    longer matches, and the stale entry ages out of the LRU.
+
+    Cached values are shared objects — callers must not mutate returned
+    paths (the overlay treats routes as immutable; messages carry them
+    inside signed tuples).
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self, maxsize: int = ROUTE_CACHE_SIZE):
+        self._cache: LruCache[Any] = LruCache(maxsize)
+
+    @property
+    def stats(self) -> Tuple[int, int, int]:
+        """(hits, misses, evictions) — for tests and telemetry."""
+        return (self._cache.hits, self._cache.misses, self._cache.evictions)
+
+    def lookup(
+        self, version: int, kind: str, source: NodeId, dest: NodeId, k: int
+    ) -> Any:
+        """Cached route for the query at ``version``, or the miss sentinel."""
+        return self._cache.get((version, kind, source, dest, k), _MISS)
+
+    def store(
+        self, version: int, kind: str, source: NodeId, dest: NodeId, k: int, value: Any
+    ) -> None:
+        """Record ``value`` for this (version, kind, source, dest, k) query."""
+        self._cache.put((version, kind, source, dest, k), value)
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        """True when ``value`` is the sentinel returned by a cache miss."""
+        return value is _MISS
+
+
+@dataclass(frozen=True, slots=True)
 class LinkStateUpdate:
     """A signed claim by ``issuer`` that its link (a, b) has ``weight``.
 
@@ -41,10 +92,19 @@ class LinkStateUpdate:
     weight: float
     seqno: int
     signature: Any = None
+    # Canonical-tuple cache; an update is re-verified at every node it
+    # floods through.  Reset by ``dataclasses.replace`` (tampered copies
+    # start cold); excluded from eq/hash/repr.
+    _signed_fields_cache: Optional[Tuple[Any, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def signed_fields(self) -> Tuple[Any, ...]:
         """Canonical tuple of fields covered by the issuer signature."""
-        return (
+        cached = self._signed_fields_cache
+        if cached is not None:
+            return cached
+        fields = (
             "link-state",
             str(self.issuer),
             str(self.edge_a),
@@ -52,6 +112,8 @@ class LinkStateUpdate:
             self.weight,
             self.seqno,
         )
+        object.__setattr__(self, "_signed_fields_cache", fields)
+        return fields
 
     @classmethod
     def create(

@@ -16,7 +16,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.crypto.pki import Pki
 from repro.errors import TopologyError
-from repro.routing.link_state import LinkStateUpdate, UpdateRateLimiter
+from repro.routing.link_state import LinkStateUpdate, RouteCache, UpdateRateLimiter
 from repro.routing.validation import UpdateResult, validate_update
 from repro.topology.disjoint import best_effort_disjoint_paths, k_node_disjoint_paths
 from repro.topology.graph import NodeId, Topology, edge_key
@@ -47,6 +47,11 @@ class RoutingState:
         self._burst = update_burst
         self.detected_compromised: Set[NodeId] = set()
         self._graph_cache: Optional[Topology] = None
+        #: Monotonic link-state view version: advanced exactly when an
+        #: accepted (sequence-number-gated) update changes the view.  Route
+        #: cache keys embed it, so every seqno bump invalidates them.
+        self.version = 0
+        self._route_cache = RouteCache()
         self.results: Dict[UpdateResult, int] = {r: 0 for r in UpdateResult}
 
     # ------------------------------------------------------------------
@@ -78,6 +83,7 @@ class RoutingState:
         self._seqnos[seq_key] = update.seqno
         self._reports.setdefault(key, {})[update.issuer] = update.weight
         self._graph_cache = None
+        self.version += 1
         self.results[UpdateResult.ACCEPTED] += 1
         return UpdateResult.ACCEPTED
 
@@ -112,17 +118,63 @@ class RoutingState:
     # ------------------------------------------------------------------
     # Route computation
     # ------------------------------------------------------------------
+    # Every computed route is cached in an LRU keyed by (view version,
+    # query); accepted link-state updates advance the version, so cached
+    # routes always equal a fresh recomputation on the current view.
+    # Returned paths are shared objects and must not be mutated.
     def shortest_path(self, source: NodeId, dest: NodeId) -> Optional[List[NodeId]]:
         """Minimum-weight path on the current view, or None if disconnected."""
-        return self.graph().shortest_path(source, dest)
+        cache = self._route_cache
+        cached = cache.lookup(self.version, "sp", source, dest, 1)
+        if not RouteCache.is_miss(cached):
+            return cached
+        path = self.graph().shortest_path(source, dest)
+        cache.store(self.version, "sp", source, dest, 1, path)
+        return path
 
     def k_paths(self, source: NodeId, dest: NodeId, k: int) -> List[List[NodeId]]:
         """K minimum-weight node-disjoint paths on the current view."""
-        return k_node_disjoint_paths(self.graph(), source, dest, k)
+        cache = self._route_cache
+        cached = cache.lookup(self.version, "kp", source, dest, k)
+        if not RouteCache.is_miss(cached):
+            return cached
+        paths = k_node_disjoint_paths(self.graph(), source, dest, k)
+        cache.store(self.version, "kp", source, dest, k, paths)
+        return paths
 
     def k_paths_best_effort(self, source: NodeId, dest: NodeId, k: int) -> List[List[NodeId]]:
         """Up to K node-disjoint paths, as many as currently exist."""
-        return best_effort_disjoint_paths(self.graph(), source, dest, k)
+        cache = self._route_cache
+        cached = cache.lookup(self.version, "be", source, dest, k)
+        if not RouteCache.is_miss(cached):
+            return cached
+        paths = best_effort_disjoint_paths(self.graph(), source, dest, k)
+        cache.store(self.version, "be", source, dest, k, paths)
+        return paths
+
+    def k_paths_tuple(
+        self, source: NodeId, dest: NodeId, k: int
+    ) -> Tuple[Tuple[NodeId, ...], ...]:
+        """Best-effort K paths as a cached tuple-of-tuples.
+
+        Messages carry their paths as immutable tuples; sharing one tuple
+        object per (version, flow, k) keeps every message of a flow
+        carrying the identical object, which in turn makes downstream
+        per-path memoization (``dissemination.kpaths``) hit on the cheap
+        equality of an already-seen key.
+        """
+        cache = self._route_cache
+        cached = cache.lookup(self.version, "tup", source, dest, k)
+        if not RouteCache.is_miss(cached):
+            return cached
+        paths = tuple(tuple(p) for p in self.k_paths_best_effort(source, dest, k))
+        cache.store(self.version, "tup", source, dest, k, paths)
+        return paths
+
+    @property
+    def route_cache_stats(self) -> Tuple[int, int, int]:
+        """(hits, misses, evictions) of the route cache."""
+        return self._route_cache.stats
 
     # ------------------------------------------------------------------
     # Local link monitoring support

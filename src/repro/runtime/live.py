@@ -62,6 +62,10 @@ class LiveConfig:
     host: str = "127.0.0.1"
     drain: float = 1.5
     overlay: OverlayConfig = field(default_factory=OverlayConfig)
+    #: When set, every flow injects exactly this many messages and then
+    #: stops on its own (the sim-vs-live conformance test uses this to
+    #: offer the identical message set to both substrates).
+    messages_per_flow: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -72,6 +76,8 @@ class LiveConfig:
             raise ConfigurationError("rate must be positive")
         if self.size_bytes < 1:
             raise ConfigurationError("size_bytes must be >= 1")
+        if self.messages_per_flow is not None and self.messages_per_flow < 1:
+            raise ConfigurationError("messages_per_flow must be >= 1 when set")
 
     @property
     def inject_seconds(self) -> float:
@@ -189,6 +195,25 @@ class LiveReport:
             "transport": self.transport,
             "runtime_errors": self.runtime_errors,
         }
+
+
+def flow_plan(node_ids: List[NodeId]) -> List[Tuple[NodeId, NodeId, Semantics]]:
+    """The deployment's traffic matrix: one CBR flow per node, aimed
+    roughly across the overlay, alternating priority/reliable semantics.
+
+    Factored out so the sim-vs-live conformance test can offer the
+    *identical* flow set to an :class:`~repro.overlay.network.OverlayNetwork`
+    and a :class:`LiveDeployment`.
+    """
+    n = len(node_ids)
+    plan: List[Tuple[NodeId, NodeId, Semantics]] = []
+    for index, source in enumerate(node_ids):
+        dest = node_ids[(index + max(1, n // 2)) % n]
+        if dest == source:
+            continue
+        semantics = Semantics.PRIORITY if index % 2 == 0 else Semantics.RELIABLE
+        plan.append((source, dest, semantics))
+    return plan
 
 
 def live_topology(n: int) -> Topology:
@@ -322,14 +347,8 @@ class LiveDeployment:
     def _start_traffic(self) -> None:
         """One CBR flow per node; alternating priority/reliable semantics."""
         config = self.config
-        node_ids = sorted(self.topology.nodes)
-        n = len(node_ids)
         rate_bps = config.rate_msgs_per_sec * config.size_bytes * 8.0
-        for index, source in enumerate(node_ids):
-            dest = node_ids[(index + max(1, n // 2)) % n]
-            if dest == source:
-                continue
-            semantics = Semantics.PRIORITY if index % 2 == 0 else Semantics.RELIABLE
+        for source, dest, semantics in flow_plan(sorted(self.topology.nodes)):
             generator = CbrTraffic(
                 self,  # duck-typed: CbrTraffic uses only .sim and .node()
                 source,
@@ -338,6 +357,7 @@ class LiveDeployment:
                 size_bytes=config.size_bytes,
                 semantics=semantics,
                 method=config.method,
+                max_messages=config.messages_per_flow,
             )
             self.traffic.append(generator)
             self._flow_specs.append((source, dest, semantics))

@@ -15,6 +15,7 @@ synchronously), so benign-mode simulations pay no overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ConfigurationError
@@ -63,8 +64,12 @@ class CpuCosts:
         """Zero-cost table: the CPU model is effectively disabled."""
         return cls(**{field: 0.0 for field in _COST_FIELDS})
 
-    @property
+    @cached_property
     def is_free(self) -> bool:
+        """True when every cost is zero (the CPU model is a no-op).
+
+        Cached: the dataclass is frozen, so the answer never changes, and
+        this sits on the per-packet fast path."""
         return all(getattr(self, field) == 0.0 for field in _COST_FIELDS)
 
 
@@ -85,10 +90,9 @@ class Cpu:
         self.busy_seconds = 0.0
         self.operations = 0
         self.overload_drops = 0
-
-    @property
-    def enabled(self) -> bool:
-        return not self.costs.is_free
+        # Plain attribute, not a property: ``costs`` is frozen and never
+        # reassigned, and this flag is consulted once or twice per packet.
+        self.enabled = not costs.is_free
 
     def backlog(self) -> float:
         """Seconds of queued work ahead of a newly submitted operation.

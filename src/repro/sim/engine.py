@@ -34,7 +34,7 @@ if TYPE_CHECKING:
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "on_cancel")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "on_cancel", "transient")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
         self.time = time
@@ -45,6 +45,11 @@ class EventHandle:
         #: Set by the owning simulator so it can keep an exact count of
         #: dead entries still sitting in its heap.
         self.on_cancel: Optional[Callable[[], None]] = None
+        #: True for pool-owned events scheduled via
+        #: :meth:`Simulator.schedule_transient_at`: no reference escapes
+        #: to callers, so the simulator may recycle the object after it
+        #: executes.
+        self.transient = False
 
     def cancel(self) -> None:
         """Cancel the event; a cancelled event is skipped by the engine."""
@@ -58,7 +63,11 @@ class EventHandle:
             self.on_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Tuple-free comparison: the heap calls this O(log n) times per
+        # push/pop, so avoiding two tuple allocations per call matters.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -85,6 +94,10 @@ class Simulator:
     #: more bookkeeping than the dead entries do.
     COMPACT_MIN_QUEUE = 64
 
+    #: Upper bound on the transient-event freelist.  Bounds memory while
+    #: letting steady-state packet traffic recycle one handle per event.
+    FREELIST_MAX = 256
+
     def __init__(self, seed: int = 0):
         self._now = 0.0
         self._queue: List[EventHandle] = []
@@ -93,6 +106,7 @@ class Simulator:
         self._cancelled = 0
         self._running = False
         self._profiler: Optional[Any] = None
+        self._free: List[EventHandle] = []
         self.rngs = RngRegistry(seed)
 
     # ------------------------------------------------------------------
@@ -158,6 +172,66 @@ class Simulator:
         return self.schedule_at(self._now, callback, *args)
 
     # ------------------------------------------------------------------
+    # Allocation-avoiding scheduling (heap-pressure reduction)
+    # ------------------------------------------------------------------
+    # Both paths below consume sequence numbers exactly like
+    # ``schedule_at`` — one per scheduled event — so event ordering (and
+    # therefore every seeded run) is byte-identical to the allocating
+    # paths.  They are engine-specific extras, not part of the
+    # SchedulerLike seam; substrate-generic callers discover them with
+    # ``getattr`` and fall back to ``schedule_at``.
+
+    def schedule_transient_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule a fire-and-forget event; no handle is returned.
+
+        Because the caller provably cannot cancel (or even reference) the
+        event, the engine owns the ``EventHandle`` outright and recycles
+        it through a bounded freelist once it executes.  Used by the
+        highest-frequency schedulers (channel packet delivery), where the
+        per-event allocation of handle + args tuple dominates heap churn.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        self._seq += 1
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = self._seq
+            handle.callback = callback
+            handle.args = args
+        else:
+            handle = EventHandle(time, self._seq, callback, args)
+            handle.transient = True
+        heapq.heappush(self._queue, handle)
+
+    def reschedule_handle(self, handle: EventHandle, time: float) -> None:
+        """Re-arm an executed handle at ``time``, reusing the object.
+
+        For strictly self-owned repeating events (:class:`PeriodicTimer`):
+        the handle just popped off the heap is pushed back with a fresh
+        sequence number instead of allocating a new one each tick.  The
+        caller must own the handle exclusively and only call this from
+        the handle's own callback (when it is out of the heap and not
+        cancelled).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        if handle.cancelled:
+            raise SimulationError("cannot reschedule a cancelled handle")
+        self._seq += 1
+        handle.time = time
+        handle.seq = self._seq
+        handle.on_cancel = self._note_cancel
+        heapq.heappush(self._queue, handle)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(
@@ -209,6 +283,11 @@ class Simulator:
                     )
                 executed += 1
                 self._events_run += 1
+                if head.transient and len(self._free) < self.FREELIST_MAX:
+                    # Pool-owned event: no reference escaped, recycle it.
+                    head.callback = _noop
+                    head.args = ()
+                    self._free.append(head)
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -290,6 +369,11 @@ class PeriodicTimer:
         self._handle: Optional[CancellableHandle] = None
         self._epoch = 0.0
         self._ticks = 0
+        # Engine-specific fast path: the simulated engine can re-arm the
+        # timer's own (exclusively held) handle without allocating a new
+        # event per tick.  Other SchedulerLike substrates fall back to
+        # plain schedule_at.
+        self._reschedule = getattr(sim, "reschedule_handle", None)
 
     def start(self, phase: float = 0.0) -> None:
         """Arm the timer; the first firing is ``interval + phase`` from now."""
@@ -317,5 +401,11 @@ class PeriodicTimer:
             # clock); skip forward rather than scheduling into the past.
             self._ticks += 1
             next_time = self._epoch + (self._ticks + 1) * self._interval
-        self._handle = self._sim.schedule_at(next_time, self._fire)
+        handle = self._handle
+        if self._reschedule is not None and handle is not None and not handle.cancelled:
+            # The handle that just fired is out of the heap and exclusively
+            # ours: push it back (fresh seq) instead of allocating.
+            self._reschedule(handle, next_time)
+        else:
+            self._handle = self._sim.schedule_at(next_time, self._fire)
         self._callback()

@@ -14,7 +14,20 @@ dissemination-cost accounting.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List
+
+
+def wall_clock() -> float:
+    """A monotonic wall-clock read for explicit performance measurement.
+
+    The determinism audit (tests/test_sim_determinism.py) confines
+    wall-clock reads to the profiling and live-runtime modules; perf
+    tooling (:mod:`repro.perf`) must therefore take its timestamps
+    through this helper rather than importing :mod:`time` itself.
+    Never call this from protocol or simulation code.
+    """
+    return time.perf_counter()
 
 
 def callback_key(callback: Callable[..., Any]) -> str:

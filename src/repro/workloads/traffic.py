@@ -36,9 +36,12 @@ class CbrTraffic:
         method: Optional[DisseminationMethod] = None,
         priority_cycle: Optional[list] = None,
         tick_interval: float = 0.02,
+        max_messages: Optional[int] = None,
     ):
         if rate_bps <= 0:
             raise ConfigurationError("rate_bps must be positive")
+        if max_messages is not None and max_messages < 1:
+            raise ConfigurationError("max_messages must be >= 1 when set")
         self.network = network
         self.source = source
         self.dest = dest
@@ -51,6 +54,10 @@ class CbrTraffic:
         #: ("evenly distributes its messages across ten priority levels").
         self.priority_cycle = priority_cycle
         self.tick_interval = tick_interval
+        #: When set, the generator stops itself after injecting exactly
+        #: this many messages — used by the sim-vs-live conformance test,
+        #: where both substrates must offer the identical message set.
+        self.max_messages = max_messages
         self.running = False
         self.messages_sent = 0
         self.backpressured = 0
@@ -90,6 +97,9 @@ class CbrTraffic:
             # small burst is the application's loss, like a UDP sender.
             self._credit = min(self._credit, self.size_bytes * 8.0)
         while self._credit >= self.size_bytes and not node.crashed:
+            if self.max_messages is not None and self.messages_sent >= self.max_messages:
+                self.running = False
+                return
             try:
                 if self.semantics is Semantics.PRIORITY:
                     node.send_priority(

@@ -38,6 +38,10 @@ SMOKE_CASES = [
         ["live", "--nodes", "2", "--duration", "1", "--rate", "10"],
         id="live",
     ),
+    pytest.param(
+        ["perfbench", "--quick", "--seed", "0"],
+        id="perfbench",
+    ),
 ]
 
 

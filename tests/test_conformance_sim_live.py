@@ -1,0 +1,143 @@
+"""Differential sim-vs-live conformance test.
+
+Runs the *same* seeded 4-node scenario — ``live_topology(4)``, the
+deployment's :func:`~repro.runtime.live.flow_plan` traffic matrix,
+exact-count CBR injection — through both substrates of the runtime seam:
+
+* the discrete-event :class:`~repro.sim.engine.Simulator` via
+  :meth:`OverlayNetwork.build`, and
+* the real asyncio/UDP :class:`~repro.runtime.live.LiveDeployment`,
+
+then asserts the protocol stack behaved identically where it must
+(delivered-message sets, per-flow delivery order, injected counts) and
+comparably where wall clock makes exact equality impossible (per-flow
+mean latency within a tolerance).  This is the test that would catch a
+"fast path" that only exists in one substrate — e.g. a cache keyed off
+simulated time, or a pump shortcut that relies on the simulator's
+run-to-quiescence behavior.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.messaging.message import Message
+from repro.overlay.config import DisseminationMethod, OverlayConfig
+from repro.overlay.network import OverlayNetwork
+from repro.runtime.live import LiveConfig, LiveDeployment, flow_plan, live_topology
+from repro.workloads.traffic import CbrTraffic
+
+NODES = 4
+MESSAGES_PER_FLOW = 10
+RATE_MSGS_PER_SEC = 20.0
+SIZE_BYTES = 256
+SEED = 0
+#: Loopback UDP and a sim with 1 ms edge weights should both deliver in
+#: well under this; the bound only needs to absorb CI-runner jitter.
+LATENCY_TOLERANCE_SECONDS = 0.5
+
+FlowKey = Tuple[object, object]
+
+
+class DeliveryLog:
+    """Per-flow delivery order and latency, recorded via observers."""
+
+    def __init__(self) -> None:
+        self.order: Dict[FlowKey, List[int]] = defaultdict(list)
+        self.latencies: Dict[FlowKey, List[float]] = defaultdict(list)
+
+    def record(self, message: Message, node) -> None:
+        key = (message.source, message.dest)
+        self.order[key].append(message.seq)
+        self.latencies[key].append(node.sim.now - message.sent_at)
+
+
+def _run_sim(flows) -> Tuple[DeliveryLog, List[CbrTraffic]]:
+    """The scenario on the discrete-event simulator."""
+    log = DeliveryLog()
+    net = OverlayNetwork.build(live_topology(NODES), OverlayConfig(), seed=SEED)
+    for node in net.nodes.values():
+        node.delivery_observers.append(log.record)
+    generators = []
+    for source, dest, semantics in flows:
+        generator = CbrTraffic(
+            net,
+            source,
+            dest,
+            rate_bps=RATE_MSGS_PER_SEC * SIZE_BYTES * 8.0,
+            size_bytes=SIZE_BYTES,
+            semantics=semantics,
+            method=DisseminationMethod.flooding(),
+            max_messages=MESSAGES_PER_FLOW,
+        )
+        generators.append(generator)
+        generator.start()
+    net.sim.run(until=10.0)
+    return log, generators
+
+
+def _run_live() -> Tuple[DeliveryLog, LiveDeployment]:
+    """The identical scenario on real asyncio/UDP sockets."""
+
+    async def drive():
+        config = LiveConfig(
+            nodes=NODES,
+            duration=3.0,
+            seed=SEED,
+            rate_msgs_per_sec=RATE_MSGS_PER_SEC,
+            size_bytes=SIZE_BYTES,
+            messages_per_flow=MESSAGES_PER_FLOW,
+        )
+        deployment = LiveDeployment(config)
+        log = DeliveryLog()
+        await deployment.start()
+        # Attaching synchronously after start() is race-free: a delivery
+        # needs at least one event-loop turn (a UDP datagram round trip),
+        # and we have not yielded to the loop yet.
+        for process in deployment.processes.values():
+            process.overlay.delivery_observers.append(log.record)
+        try:
+            await deployment.serve()
+        finally:
+            await deployment.stop()
+        return log, deployment
+
+    return asyncio.run(drive())
+
+
+def test_sim_and_live_agree_on_deliveries():
+    flows = flow_plan(sorted(live_topology(NODES).nodes))
+    assert len(flows) == NODES  # 4-node clique: every node sources a flow
+
+    sim_log, sim_generators = _run_sim(flows)
+    live_log, deployment = _run_live()
+
+    # Both substrates injected exactly the configured message count.
+    assert [g.messages_sent for g in sim_generators] == [MESSAGES_PER_FLOW] * len(flows)
+    assert [g.messages_sent for g in deployment.traffic] == [MESSAGES_PER_FLOW] * len(flows)
+    assert not deployment._runtime_errors
+
+    flow_keys = {(source, dest) for source, dest, _ in flows}
+    assert set(sim_log.order) == flow_keys
+    assert set(live_log.order) == flow_keys
+
+    for key in sorted(flow_keys, key=str):
+        sim_seqs = sim_log.order[key]
+        live_seqs = live_log.order[key]
+        # Identical delivered-message sets (no losses, no duplicates)...
+        assert sorted(sim_seqs) == sorted(live_seqs)
+        assert len(set(sim_seqs)) == len(sim_seqs)
+        # ...delivered in the same per-flow order on both substrates.
+        assert sim_seqs == sorted(sim_seqs)
+        assert live_seqs == sim_seqs
+
+    for key in sorted(flow_keys, key=str):
+        sim_latencies = sim_log.latencies[key]
+        live_latencies = live_log.latencies[key]
+        sim_mean = sum(sim_latencies) / len(sim_latencies)
+        live_mean = sum(live_latencies) / len(live_latencies)
+        assert 0.0 <= sim_mean < LATENCY_TOLERANCE_SECONDS
+        assert 0.0 <= live_mean
+        assert abs(live_mean - sim_mean) < LATENCY_TOLERANCE_SECONDS

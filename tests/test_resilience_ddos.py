@@ -1,0 +1,111 @@
+"""Unit tests for the rotating link-flooding attack (resilience/ddos.py).
+
+The attack model is what Figure 2 is built on: flood one route
+combination per targeted link at a time, rotating faster than Internet
+routing reacts.  Single-homed links die outright; multihomed links
+survive any attacker whose breadth is below the combination count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overlay.config import OverlayConfig
+from repro.overlay.network import OverlayNetwork
+from repro.resilience.ddos import RotatingLinkAttack
+from repro.resilience.underlay import multihomed, single_homed
+from repro.topology import generators
+
+
+def _net():
+    return OverlayNetwork.build(generators.clique(3), OverlayConfig(), seed=1)
+
+
+def _single_homed_underlay(net):
+    return single_homed(net, {node: "isp1" for node in net.topology.nodes})
+
+
+def _multihomed_underlay(net):
+    return multihomed(net, {node: ["isp1", "isp2"] for node in net.topology.nodes})
+
+
+def test_constructor_validates_parameters():
+    net = _net()
+    underlay = _single_homed_underlay(net)
+    with pytest.raises(ConfigurationError):
+        RotatingLinkAttack(net.sim, underlay, [(1, 2)], rotation_period=0.0)
+    with pytest.raises(ConfigurationError):
+        RotatingLinkAttack(net.sim, underlay, [(1, 2)], breadth=0)
+
+
+def test_single_homed_target_is_continuously_dead():
+    net = _net()
+    underlay = _single_homed_underlay(net)
+    attack = RotatingLinkAttack(net.sim, underlay, [(1, 2)], rotation_period=0.5)
+    attack.start()
+    # A single-homed link has exactly one combination: every rotation
+    # re-floods it, so the link never comes back while the attack runs.
+    for _ in range(4):
+        net.sim.run(until=net.sim.now + 0.5)
+        assert not underlay.link_usable(1, 2)
+    # Untargeted links are untouched.
+    assert underlay.link_usable(1, 3)
+    assert underlay.link_usable(2, 3)
+
+
+def test_multihomed_target_survives_narrow_attacker():
+    net = _net()
+    underlay = _multihomed_underlay(net)
+    assert len(underlay.combos(1, 2)) == 4
+    attack = RotatingLinkAttack(net.sim, underlay, [(1, 2)], rotation_period=0.5, breadth=1)
+    attack.start()
+    flooded_over_time = set()
+    for _ in range(8):
+        assert underlay.link_usable(1, 2)  # 3 of 4 combos always up
+        flooded_over_time.update(combo for _, _, combo in attack._flooded)
+        net.sim.run(until=net.sim.now + 0.5)
+    # The attack really rotates: over 8 periods it cycled through every
+    # combination, not just re-flooded one.
+    assert flooded_over_time == set(underlay.combos(1, 2))
+
+
+def test_multihomed_target_dies_when_breadth_covers_all_combos():
+    net = _net()
+    underlay = _multihomed_underlay(net)
+    attack = RotatingLinkAttack(net.sim, underlay, [(1, 2)], rotation_period=0.5, breadth=4)
+    attack.start()
+    for _ in range(3):
+        assert not underlay.link_usable(1, 2)
+        net.sim.run(until=net.sim.now + 0.5)
+
+
+def test_stop_releases_every_flooded_combination():
+    net = _net()
+    underlay = _single_homed_underlay(net)
+    attack = RotatingLinkAttack(net.sim, underlay, [(1, 2), (2, 3)], rotation_period=0.5)
+    attack.start()
+    assert not underlay.link_usable(1, 2)
+    assert not underlay.link_usable(2, 3)
+    attack.stop()
+    assert underlay.link_usable(1, 2)
+    assert underlay.link_usable(2, 3)
+    assert attack._flooded == []
+    # A stopped attack schedules no further rotations.
+    net.sim.run(until=net.sim.now + 2.0)
+    assert underlay.link_usable(1, 2)
+
+
+def test_schedule_arms_start_and_stop_times():
+    net = _net()
+    underlay = _single_homed_underlay(net)
+    attack = RotatingLinkAttack(net.sim, underlay, [(1, 2)], rotation_period=0.25)
+    attack.schedule(start_at=1.0, duration=2.0)
+    net.sim.run(until=0.9)
+    assert underlay.link_usable(1, 2)
+    net.sim.run(until=1.1)
+    assert attack.active
+    assert not underlay.link_usable(1, 2)
+    net.sim.run(until=3.1)
+    assert not attack.active
+    assert underlay.link_usable(1, 2)

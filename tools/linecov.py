@@ -1,0 +1,105 @@
+"""Dependency-free line coverage for environments without coverage.py.
+
+Runs the test suite in-process under a ``sys.settrace`` tracer restricted
+to ``src/repro`` and prints per-file and total line coverage.  This is a
+measurement aid for choosing the CI coverage floor (CI itself uses
+pytest-cov, whose C tracer is fast enough to gate on); the pure-Python
+tracer here costs roughly an order of magnitude in wall clock, so it is
+not wired into any test tier.
+
+Usage::
+
+    PYTHONPATH=src python tools/linecov.py [pytest args...]
+
+Statement universes are derived from compiled code objects (``co_lines``),
+which is the same notion of "executable line" the stdlib ``trace`` module
+uses and close to coverage.py's statement set — close enough to pick a
+conservative ``--cov-fail-under`` value.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import threading
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+_executed: set = set()
+_interesting_cache: dict = {}
+
+
+def _is_interesting(code) -> bool:
+    flag = _interesting_cache.get(code)
+    if flag is None:
+        flag = code.co_filename.startswith(str(SRC_ROOT))
+        _interesting_cache[code] = flag
+    return flag
+
+
+def _local_trace(frame, event, arg):
+    if event == "line":
+        _executed.add((frame.f_code.co_filename, frame.f_lineno))
+    return _local_trace
+
+
+def _global_trace(frame, event, arg):
+    if event == "call" and _is_interesting(frame.f_code):
+        return _local_trace
+    return None
+
+
+def _executable_lines(path: pathlib.Path) -> set:
+    """Every line holding executable code, from the compiled code objects."""
+    lines = set()
+    code = compile(path.read_text(), str(path), "exec")
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        for _, _, lineno in obj.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in obj.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+def main(argv) -> int:
+    import pytest
+
+    threading.settrace(_global_trace)
+    sys.settrace(_global_trace)
+    try:
+        exit_code = pytest.main(argv or ["-q", "tests"])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    per_file = []
+    total_exec = 0
+    total_hit = 0
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        executable = _executable_lines(path)
+        if not executable:
+            continue
+        hit = {line for file, line in _executed if file == str(path)}
+        hit &= executable
+        total_exec += len(executable)
+        total_hit += len(hit)
+        per_file.append(
+            (100.0 * len(hit) / len(executable), len(hit), len(executable), path)
+        )
+
+    print()
+    print(f"{'cover':>7}  {'hit':>5}/{'stmts':<5}  file")
+    for pct, hit, executable, path in sorted(per_file):
+        rel = path.relative_to(SRC_ROOT.parent)
+        print(f"{pct:6.1f}%  {hit:5d}/{executable:<5d}  {rel}")
+    total_pct = 100.0 * total_hit / max(total_exec, 1)
+    print(f"TOTAL {total_pct:.2f}% ({total_hit}/{total_exec} lines)")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
