@@ -1,0 +1,82 @@
+"""Live chaos soak benchmark: the overlay under fire on real sockets.
+
+Boots a 5-node localhost overlay and runs the ``soak`` chaos preset
+against it — wire noise (loss, duplication, reordering, corruption,
+delay), partitions, and supervised crash/restart — for a few real
+seconds, then gates on the paper's guarantee: messages between
+*correct* (non-faulted) nodes still arrive, and no delivery invariant
+is violated.  The artifact ``BENCH_live_chaos.json`` carries the full
+report (injector counts, supervision summary, invariant summary) for
+trend inspection; like the live smoke artifact it is inherently
+non-deterministic in its timing fields.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import Reporter, run_once
+
+from repro.runtime.live import LiveConfig, run_live
+
+NODES = 5
+DURATION = 6.0
+#: At this seed the generated soak schedule includes a node crash (so
+#: the supervisor's kill/restart path runs) alongside sustained wire
+#: noise on several edges.
+SEED = 3
+
+#: The soak gate: correct-flow delivery may not dip below this.
+DELIVERY_FLOOR = 0.99
+
+
+def test_live_chaos_soak(benchmark):
+    reporter = Reporter("live_chaos")
+    report = run_once(
+        benchmark,
+        lambda: run_live(LiveConfig(
+            nodes=NODES, duration=DURATION, seed=SEED, chaos_preset="soak",
+        )),
+    )
+    injector = report.chaos["injector"]
+    reporter.table(
+        ["flow", "semantics", "sent", "delivered", "ratio"],
+        [
+            (
+                f"{flow.source}->{flow.dest}",
+                flow.semantics,
+                flow.sent,
+                flow.delivered,
+                f"{flow.ratio:.1%}",
+            )
+            for flow in report.flows
+        ],
+    )
+    reporter.line()
+    reporter.line(
+        f"chaos: {injector['losses']} lost, {injector['duplicates']} duped, "
+        f"{injector['reorders']} reordered, {injector['corruptions']} corrupted, "
+        f"{injector['partition_drops']} partition drops"
+    )
+    reporter.line(
+        f"supervision: {report.supervision['kills']} kill(s), "
+        f"{report.supervision['restarts']} restart(s), "
+        f"broken={report.supervision['broken']}"
+    )
+    reporter.line(
+        f"delivery: overall {report.delivery_ratio:.1%}  "
+        f"correct-flow {report.correct_flow_ratio:.1%} "
+        f"(faulted nodes excluded: {sorted(report.faulted_node_ids) or 'none'})"
+    )
+    reporter.line(
+        f"invariants: {report.violations} violation(s); "
+        f"transport rejected {report.transport['decode_errors']} corrupted "
+        f"datagram(s) at decode"
+    )
+    reporter.json_artifact(report.to_dict())
+    reporter.flush()
+
+    assert not report.runtime_errors, report.runtime_errors
+    assert not report.interrupted
+    assert report.violations == 0
+    assert report.supervision["broken"] == []
+    assert report.correct_flow_ratio >= DELIVERY_FLOOR, report.to_dict()["flows"]
+    assert report.ok

@@ -173,6 +173,29 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from repro.telemetry.report import build_report, to_csv
     from repro.workloads.experiment import Deployment
 
+    if args.live:
+        # Live mode: the report is the LiveReport dict (per-flow results,
+        # transport totals incl. per-reason drop counters, chaos /
+        # supervision / invariant summaries) rather than the sim report.
+        if args.format != "json":
+            print("repro stats --live supports --format json only")
+            return 2
+        from repro.runtime.live import LiveConfig, run_live
+
+        live_report = run_live(
+            LiveConfig(duration=args.seconds, seed=args.seed)
+        )
+        rendered = json.dumps(
+            live_report.to_dict(), sort_keys=True, indent=2
+        ) + "\n"
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"wrote json report to {args.output}")
+        else:
+            print(rendered, end="")
+        return 0 if live_report.ok else 1
+
     semantics = Semantics(args.semantics)
     deployment = Deployment(seed=args.seed)
     if args.profile:
@@ -228,10 +251,13 @@ def cmd_live(args: argparse.Namespace) -> int:
         method=method,
         rate_msgs_per_sec=args.rate,
         size_bytes=args.size,
+        chaos_preset=args.chaos,
+        chaos_intensity=args.chaos_intensity,
     )
+    chaos_note = f", chaos={args.chaos}" if args.chaos else ""
     print(f"live overlay: {args.nodes} nodes on 127.0.0.1 (UDP), "
           f"{args.duration:.0f} s wall clock, method={args.method}, "
-          f"seed={args.seed}")
+          f"seed={args.seed}{chaos_note}")
     report = run_live(config)
     if report.interrupted:
         print("interrupted; draining stopped early")
@@ -248,6 +274,28 @@ def cmd_live(args: argparse.Namespace) -> int:
     print(f"transport: {transport['datagrams_received']} datagrams received, "
           f"{transport['decode_errors']} decode errors, "
           f"{transport['encode_errors']} encode drops")
+    print(f"rx drops: {transport['misdirected']} misdirected, "
+          f"{transport['unknown_sender']} unknown sender, "
+          f"{transport['dispatch_errors']} dispatch error(s); "
+          f"tx: {transport['send_errors']} send error(s), "
+          f"{transport['send_retries']} retried")
+    if report.chaos is not None:
+        injector = report.chaos["injector"]
+        print(f"chaos: {injector['losses']} lost, "
+              f"{injector['duplicates']} duplicated, "
+              f"{injector['reorders']} reordered, "
+              f"{injector['corruptions']} corrupted, "
+              f"{injector['partition_drops']} partition-dropped")
+        supervision = report.supervision
+        broken = ", ".join(supervision["broken"]) or "none"
+        print(f"supervision: {supervision['kills']} kill(s), "
+              f"{supervision['restarts']} restart(s), broken: {broken}")
+        faulted = ", ".join(sorted(report.faulted_node_ids)) or "none"
+        print(f"correct-flow delivery {report.correct_flow_ratio:.1%} "
+              f"(faulted nodes excluded: {faulted})")
+    if report.invariants is not None:
+        print(f"invariants: {report.invariants['violations']} violation(s) "
+              f"over {report.invariants['deliveries_checked']} deliveries")
     if report.runtime_errors:
         for message in report.runtime_errors:
             print(f"runtime error: {message}")
@@ -256,10 +304,13 @@ def cmd_live(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, sort_keys=True, indent=2)
             handle.write("\n")
         print(f"wrote live report to {args.output}")
-    ok = (
-        not report.runtime_errors
-        and report.delivery_ratio >= args.min_delivery
-    )
+    # Under chaos the delivery gate applies to flows between non-faulted
+    # nodes (a message into a partitioned or crashed endpoint is *meant*
+    # to be lost); report.ok additionally fails the run on any runtime
+    # error or invariant violation.
+    gate_ratio = (report.correct_flow_ratio if report.chaos is not None
+                  else report.delivery_ratio)
+    ok = report.ok and gate_ratio >= args.min_delivery
     return 0 if ok else 1
 
 
@@ -361,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--trace", action="store_true",
                        help="enable sim-time event tracing and include "
                             "the event summary")
+    stats.add_argument("--live", action="store_true",
+                       help="run the live (asyncio/UDP) overlay instead of "
+                            "the simulator and dump its JSON report, "
+                            "including transport drop counters "
+                            "(--flows/--rate/--semantics are sim-only)")
     stats.set_defaults(func=cmd_stats)
 
     live = sub.add_parser(
@@ -378,11 +434,18 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--size", type=int, default=256,
                       help="message payload size in bytes")
     live.add_argument("--seed", type=int, default=0)
+    live.add_argument("--chaos", choices=["link", "full", "soak"],
+                      default=None,
+                      help="arm seeded fault injection against the real "
+                           "sockets with this ChaosSpec preset")
+    live.add_argument("--chaos-intensity", type=float, default=1.0,
+                      help="scale factor on the chaos preset's fault rates")
     live.add_argument("--output", default=None,
                       help="also write the JSON report to a file")
     live.add_argument("--min-delivery", type=float, default=0.0,
-                      help="exit 1 if overall delivery falls below this "
-                           "fraction (CI gate)")
+                      help="exit 1 if delivery falls below this fraction "
+                           "(correct-flow delivery when chaos is armed; "
+                           "CI gate)")
     live.set_defaults(func=cmd_live)
 
     perfbench = sub.add_parser(

@@ -57,12 +57,17 @@ class ChaosEngine:
         # Refcounts so overlapping faults compose instead of clobbering.
         self._link_refs: Dict[Tuple, int] = {}
         self._node_refs: Dict[object, int] = {}
-        # Active impairments per edge: {edge: {fault-key: (loss, delay)}}.
-        self._impairments: Dict[Tuple, Dict[int, Tuple[float, float]]] = {}
+        # Active impairments per edge: {edge: {fault-key:
+        # (loss, dup, reorder, corrupt, delay)}}.
+        self._impairments: Dict[Tuple, Dict[int, Tuple[float, ...]]] = {}
         # Observability.
         self.applied: List[Tuple[float, str]] = []
         self.counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
         self.skipped = 0
+        # Every node that lost state or connectivity wholesale (crash,
+        # churn, partition side): the set of "non-correct" nodes a
+        # delivery gate should exclude flows to/from.
+        self.faulted_nodes: Set = set()
 
     # ------------------------------------------------------------------
     def arm(self) -> None:
@@ -74,7 +79,7 @@ class ChaosEngine:
         sim = self.network.sim
         topology = self.network.topology
         for index, fault in enumerate(self.schedule):
-            if fault.kind in ("flap", "gray"):
+            if fault.kind in ("flap", "gray", "noise"):
                 a, b = fault.target
                 if not topology.has_edge(a, b):
                     self.skipped += 1
@@ -101,17 +106,32 @@ class ChaosEngine:
         elif fault.kind == "gray":
             self._impair(
                 _edge(*fault.target), index,
-                fault.param("extra_loss"), fault.param("extra_delay"),
+                loss=fault.param("extra_loss"),
+                delay=fault.param("extra_delay"),
+            )
+        elif fault.kind == "noise":
+            self._impair(
+                _edge(*fault.target), index,
+                loss=fault.param("extra_loss"),
+                dup=fault.param("dup"),
+                reorder=fault.param("reorder"),
+                corrupt=fault.param("corrupt"),
+                delay=fault.param("extra_delay"),
             )
         elif fault.kind == "burst":
             node = fault.target[0]
             for neighbor in self.network.topology.neighbors(node):
                 self._impair(
-                    _edge(node, neighbor), index, fault.param("extra_loss"), 0.0
+                    _edge(node, neighbor), index,
+                    loss=fault.param("extra_loss"),
                 )
         elif fault.kind in ("crash", "churn"):
+            self.faulted_nodes.add(fault.target[0])
             self._crash_node(fault.target[0])
         elif fault.kind == "partition":
+            self.faulted_nodes.update(
+                n for n in fault.target if self.network.topology.has_node(n)
+            )
             for edge in self._crossing_edges(fault):
                 self._fail_edge(edge)
         self._log(fault, "begin")
@@ -119,7 +139,7 @@ class ChaosEngine:
     def _finish(self, fault: Fault, index: int) -> None:
         if fault.kind == "flap":
             self._restore_edge(_edge(*fault.target))
-        elif fault.kind == "gray":
+        elif fault.kind in ("gray", "noise"):
             self._clear_impairment(_edge(*fault.target), index)
         elif fault.kind == "burst":
             node = fault.target[0]
@@ -147,7 +167,7 @@ class ChaosEngine:
         refs = self._link_refs.get(edge, 0)
         self._link_refs[edge] = refs + 1
         if refs == 0:
-            self.network.fail_link(*edge)
+            self._take_edge_down(edge)
 
     def _restore_edge(self, edge: Tuple) -> None:
         refs = self._link_refs.get(edge, 0)
@@ -156,15 +176,34 @@ class ChaosEngine:
             # Don't restore channels around a node the engine still holds
             # crashed — recovery will bring them back.
             if not any(self._node_refs.get(n, 0) for n in edge):
-                self.network.restore_link(*edge)
+                self._bring_edge_up(edge)
         else:
             self._link_refs[edge] = refs - 1
+
+    def _take_edge_down(self, edge: Tuple) -> None:
+        """Substrate hook: make the edge drop everything (both ways)."""
+        self.network.fail_link(*edge)
+
+    def _bring_edge_up(self, edge: Tuple) -> None:
+        """Substrate hook: undo :meth:`_take_edge_down`."""
+        self.network.restore_link(*edge)
 
     # ------------------------------------------------------------------
     # Impairments (composed)
     # ------------------------------------------------------------------
-    def _impair(self, edge: Tuple, key: int, loss: float, delay: float) -> None:
-        self._impairments.setdefault(edge, {})[key] = (loss, delay)
+    def _impair(
+        self,
+        edge: Tuple,
+        key: int,
+        loss: float = 0.0,
+        dup: float = 0.0,
+        reorder: float = 0.0,
+        corrupt: float = 0.0,
+        delay: float = 0.0,
+    ) -> None:
+        self._impairments.setdefault(edge, {})[key] = (
+            loss, dup, reorder, corrupt, delay
+        )
         self._apply_impairment(edge)
 
     def _clear_impairment(self, edge: Tuple, key: int) -> None:
@@ -178,13 +217,40 @@ class ChaosEngine:
 
     def _apply_impairment(self, edge: Tuple) -> None:
         active = self._impairments.get(edge, {})
-        survive = 1.0
+        survive = [1.0, 1.0, 1.0, 1.0]  # loss, dup, reorder, corrupt
         delay = 0.0
-        for loss, extra_delay in active.values():
-            survive *= 1.0 - loss
-            delay += extra_delay
-        loss = min(1.0 - survive, MAX_COMPOSED_LOSS)
-        self.network.impair_link(*edge, extra_loss=loss, extra_delay=delay)
+        for params in active.values():
+            for i in range(4):
+                survive[i] *= 1.0 - params[i]
+            delay += params[4]
+        loss, dup, reorder, corrupt = (1.0 - s for s in survive)
+        self._install_impairment(
+            edge, min(loss, MAX_COMPOSED_LOSS), dup, reorder, corrupt, delay
+        )
+
+    def _install_impairment(
+        self,
+        edge: Tuple,
+        loss: float,
+        dup: float,
+        reorder: float,
+        corrupt: float,
+        delay: float,
+    ) -> None:
+        """Substrate hook: apply the composed impairment to the edge.
+
+        The simulator's channels are FIFO by-reference pipes: a corrupted
+        datagram fails decode/MAC at the receiver, so corruption projects
+        onto loss; duplication and reordering have no sim-channel
+        representation (the PoR link above absorbs both) and are applied
+        only by the live runtime's datagram injector.
+        """
+        effective = 1.0 - (1.0 - loss) * (1.0 - corrupt)
+        self.network.impair_link(
+            *edge,
+            extra_loss=min(effective, MAX_COMPOSED_LOSS),
+            extra_delay=delay,
+        )
 
     # ------------------------------------------------------------------
     # Crash / restart (refcounted, with link-fault repair)
@@ -207,7 +273,7 @@ class ChaosEngine:
         for neighbor in self.network.topology.neighbors(node):
             edge = _edge(node, neighbor)
             if self._link_refs.get(edge, 0) > 0:
-                self.network.fail_link(*edge)
+                self._take_edge_down(edge)
 
     # ------------------------------------------------------------------
     # Observability
@@ -231,6 +297,7 @@ class ChaosEngine:
             "actions": len(self.applied),
             "skipped": self.skipped,
             "scheduled": len(self.schedule),
+            "faulted_nodes": sorted(str(n) for n in self.faulted_nodes),
         }
 
     def describe_applied(self) -> str:

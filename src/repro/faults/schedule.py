@@ -32,7 +32,7 @@ from repro.sim.rng import RngRegistry
 from repro.topology.graph import Topology
 
 #: Every fault kind a schedule may contain.
-FAULT_KINDS = ("flap", "gray", "burst", "crash", "churn", "partition")
+FAULT_KINDS = ("flap", "gray", "burst", "crash", "churn", "partition", "noise")
 
 
 @dataclass(frozen=True)
@@ -102,13 +102,25 @@ class ChaosSpec:
     # Network partitions: cut a random bipartition, heal it later.
     partition_rate: float = 0.0
     partition_duration: Tuple[float, float] = (2.0, 10.0)
+    # Wire noise: composed datagram-level impairment on one link — loss,
+    # duplication, reordering, byte corruption, and extra delay.  The live
+    # runtime applies all five to real datagrams; the simulator applies
+    # the loss/corruption/delay projection (its channels are FIFO
+    # by-reference pipes, so duplication/reordering are modeled above it).
+    noise_rate: float = 0.0
+    noise_duration: Tuple[float, float] = (2.0, 15.0)
+    noise_loss: Tuple[float, float] = (0.02, 0.3)
+    noise_dup: Tuple[float, float] = (0.02, 0.25)
+    noise_reorder: Tuple[float, float] = (0.05, 0.4)
+    noise_corrupt: Tuple[float, float] = (0.0, 0.15)
+    noise_delay: Tuple[float, float] = (0.0, 0.05)
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ConfigurationError("duration must be positive")
         for name in (
             "flap_rate", "gray_rate", "burst_rate",
-            "crash_rate", "churn_rate", "partition_rate",
+            "crash_rate", "churn_rate", "partition_rate", "noise_rate",
         ):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be >= 0")
@@ -116,6 +128,8 @@ class ChaosSpec:
             "flap_downtime", "gray_duration", "gray_extra_loss",
             "gray_extra_delay", "burst_duration", "burst_extra_loss",
             "crash_downtime", "churn_downtime", "partition_duration",
+            "noise_duration", "noise_loss", "noise_dup", "noise_reorder",
+            "noise_corrupt", "noise_delay",
         ):
             lo, hi = getattr(self, name)
             if not 0 <= lo <= hi:
@@ -151,6 +165,27 @@ class ChaosSpec:
             partition_rate=0.002 * intensity,
         )
 
+    @classmethod
+    def live_soak(cls, duration: float, intensity: float = 1.0) -> "ChaosSpec":
+        """Wall-clock chaos for the live runtime's soak gate: frequent
+        wire noise (loss + duplication + reordering + corruption + delay
+        on real datagrams), plus short crashes and partitions, scaled for
+        runs measured in seconds rather than minutes."""
+        return cls(
+            duration=duration,
+            noise_rate=0.5 * intensity,
+            noise_duration=(1.0, 3.0),
+            noise_loss=(0.05, 0.2),
+            noise_dup=(0.05, 0.2),
+            noise_reorder=(0.1, 0.3),
+            noise_corrupt=(0.0, 0.1),
+            noise_delay=(0.0, 0.03),
+            crash_rate=0.06 * intensity,
+            crash_downtime=(0.5, 1.5),
+            partition_rate=0.04 * intensity,
+            partition_duration=(0.3, 1.0),
+        )
+
     # ------------------------------------------------------------------
     # Generation
     # ------------------------------------------------------------------
@@ -167,7 +202,7 @@ class ChaosSpec:
         faults: List[Fault] = []
 
         def arrivals(kind: str, rate: float) -> Iterator[Tuple[float, object]]:
-            if rate <= 0 or (kind in ("flap", "gray") and not edges):
+            if rate <= 0 or (kind in ("flap", "gray", "noise") and not edges):
                 return
             rng = rngs.stream(f"chaos:{kind}")
             t = rng.expovariate(rate)
@@ -208,6 +243,18 @@ class ChaosSpec:
             side = tuple(sorted(rng.sample(nodes, side_size), key=str))
             faults.append(Fault(
                 t, "partition", side, uniform(rng, self.partition_duration)
+            ))
+        for t, rng in arrivals("noise", self.noise_rate):
+            a, b = rng.choice(edges)
+            faults.append(Fault(
+                t, "noise", (a, b), uniform(rng, self.noise_duration),
+                params=(
+                    ("corrupt", uniform(rng, self.noise_corrupt)),
+                    ("dup", uniform(rng, self.noise_dup)),
+                    ("extra_delay", uniform(rng, self.noise_delay)),
+                    ("extra_loss", uniform(rng, self.noise_loss)),
+                    ("reorder", uniform(rng, self.noise_reorder)),
+                ),
             ))
 
         return FaultSchedule(seed=seed, duration=self.duration, faults=tuple(

@@ -248,6 +248,7 @@ class PorEndpoint:
         self.bogus_acks_rejected = 0
         self.macs_rejected = 0
         self.duplicates_dropped = 0
+        self.out_of_window_dropped = 0
         #: Optional (mac_sign, mac_verify) telemetry counter pair — set by
         #: :meth:`attach_mac_counters`; None keeps the hot path untouched.
         self._mac_counters: Optional[Tuple[Any, Any]] = None
@@ -481,6 +482,15 @@ class PorEndpoint:
             self._send_ack()  # the ACK that would have cleared it was lost
             return
         if packet.seq > expected:
+            if packet.seq >= expected + 4 * self.config.window:
+                # A legitimate sender is bounded by its send window, so a
+                # seq this far ahead is hostile or corrupted input.  It
+                # must not enter the reorder buffer: a giant seq would
+                # stretch the gap scan in _send_ack into an unbounded
+                # synchronous loop (observed as a live-runtime hang when
+                # a bit-flipped datagram slipped past integrity checks).
+                self.out_of_window_dropped += 1
+                return
             if len(self._reorder) < 4 * self.config.window:
                 self._reorder[packet.seq] = packet
             # Duplicate cumulative ACK: tells the sender a gap opened so

@@ -26,11 +26,16 @@ from typing import Any
 _EXPORTS = {
     "AsyncioScheduler": "repro.runtime.scheduler",
     "AsyncioUdpTransport": "repro.runtime.transport",
+    "ChaosUdpTransport": "repro.runtime.chaos",
     "Datagram": "repro.runtime.wire",
+    "DatagramFaultInjector": "repro.runtime.chaos",
+    "LiveChaosEngine": "repro.runtime.chaos",
     "LiveDeployment": "repro.runtime.live",
     "LiveConfig": "repro.runtime.live",
     "LiveReport": "repro.runtime.live",
     "NodeProcess": "repro.runtime.live",
+    "NodeSupervisor": "repro.runtime.supervision",
+    "SupervisionConfig": "repro.runtime.supervision",
     "decode_datagram": "repro.runtime.wire",
     "encode_datagram": "repro.runtime.wire",
 }

@@ -31,17 +31,36 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto.pki import Pki
 from repro.errors import ConfigurationError, LiveRuntimeError
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.schedule import ChaosSpec, FaultSchedule
 from repro.link.por import PorEndpoint
 from repro.messaging.message import Semantics
 from repro.overlay.config import DisseminationMethod, OverlayConfig
 from repro.overlay.node import OverlayNode
+from repro.runtime.chaos import (
+    ChaosUdpTransport,
+    DatagramFaultInjector,
+    LiveChaosEngine,
+)
 from repro.runtime.scheduler import AsyncioScheduler
+from repro.runtime.supervision import NodeSupervisor, SupervisionConfig
 from repro.runtime.transport import AsyncioUdpTransport
 from repro.sim.stats import StatsRegistry
 from repro.topology import generators
 from repro.topology.graph import NodeId, Topology
 from repro.topology.mtmw import Mtmw
 from repro.workloads.traffic import CbrTraffic
+
+#: Cap on recorded runtime errors: a poisoned receive handler fires per
+#: datagram, and an unbounded error list would dwarf the report.
+MAX_RUNTIME_ERRORS = 50
+
+#: ``LiveConfig.chaos_preset`` values -> schedule factories.
+CHAOS_PRESETS = {
+    "link": ChaosSpec.link_level,
+    "full": ChaosSpec.full,
+    "soak": ChaosSpec.live_soak,
+}
 
 
 @dataclass(frozen=True)
@@ -66,6 +85,19 @@ class LiveConfig:
     #: stops on its own (the sim-vs-live conformance test uses this to
     #: offer the identical message set to both substrates).
     messages_per_flow: Optional[int] = None
+    #: An explicit fault schedule to inject (wins over ``chaos_preset``).
+    chaos: Optional[FaultSchedule] = None
+    #: Or a named :class:`~repro.faults.schedule.ChaosSpec` preset
+    #: ("link", "full", "soak") generated over the run's inject window
+    #: from the run seed.
+    chaos_preset: Optional[str] = None
+    chaos_intensity: float = 1.0
+    #: Restart policy for the always-on node supervisor.
+    supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
+    #: Arm the sim's InvariantMonitor (dedup / ordering / quarantine
+    #: routing) against the live deployment.
+    monitor_invariants: bool = True
+    invariant_check_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -78,6 +110,19 @@ class LiveConfig:
             raise ConfigurationError("size_bytes must be >= 1")
         if self.messages_per_flow is not None and self.messages_per_flow < 1:
             raise ConfigurationError("messages_per_flow must be >= 1 when set")
+        if self.chaos_preset is not None and self.chaos_preset not in CHAOS_PRESETS:
+            raise ConfigurationError(
+                f"unknown chaos preset {self.chaos_preset!r} "
+                f"(known: {', '.join(sorted(CHAOS_PRESETS))})"
+            )
+        if self.chaos is not None and self.chaos_preset is not None:
+            raise ConfigurationError(
+                "set either an explicit chaos schedule or a preset, not both"
+            )
+        if self.chaos_intensity <= 0:
+            raise ConfigurationError("chaos_intensity must be positive")
+        if self.invariant_check_interval <= 0:
+            raise ConfigurationError("invariant_check_interval must be positive")
 
     @property
     def inject_seconds(self) -> float:
@@ -145,6 +190,15 @@ class LiveReport:
     per_node: Dict[str, Dict[str, Any]]
     transport: Dict[str, int]
     runtime_errors: List[str]
+    #: Chaos/supervision/invariant summaries; None when that machinery
+    #: was not armed for the run.
+    chaos: Optional[Dict[str, Any]] = None
+    supervision: Optional[Dict[str, Any]] = None
+    invariants: Optional[Dict[str, Any]] = None
+    #: Set when a node-attributed runtime failure occurred (a raising
+    #: receive handler, an unhandled loop exception): the run's results
+    #: are suspect even if delivery looks fine.
+    failed: bool = False
 
     def _ratio(self, semantics: Optional[str] = None) -> float:
         flows = [
@@ -166,6 +220,47 @@ class LiveReport:
     @property
     def reliable_ratio(self) -> float:
         return self._ratio(Semantics.RELIABLE.value)
+
+    @property
+    def faulted_node_ids(self) -> set:
+        """Nodes (as strings) that crashed or sat inside a partition side
+        during the run — the non-correct endpoints a delivery gate must
+        not hold the overlay accountable for."""
+        faulted: set = set()
+        if self.supervision:
+            faulted.update(self.supervision.get("crashed_nodes", ()))
+        if self.chaos:
+            faulted.update(self.chaos.get("faulted_nodes", ()))
+        return faulted
+
+    @property
+    def correct_flows(self) -> List[FlowOutcome]:
+        """Flows between nodes that stayed correct the whole run."""
+        faulted = self.faulted_node_ids
+        return [
+            f for f in self.flows
+            if str(f.source) not in faulted and str(f.dest) not in faulted
+        ]
+
+    @property
+    def correct_flow_ratio(self) -> float:
+        """Delivered / injected over flows between correct nodes — the
+        paper's guarantee (and the soak gate) is about these; flows whose
+        endpoint lost state or connectivity wholesale are reported but
+        not gated."""
+        flows = self.correct_flows
+        sent = sum(f.sent for f in flows)
+        delivered = sum(f.delivered for f in flows)
+        return 1.0 if sent == 0 else delivered / sent
+
+    @property
+    def violations(self) -> int:
+        return self.invariants.get("violations", 0) if self.invariants else 0
+
+    @property
+    def ok(self) -> bool:
+        """No runtime failures and no invariant violations."""
+        return not self.failed and not self.runtime_errors and self.violations == 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form (written by ``repro live --output``)."""
@@ -194,6 +289,13 @@ class LiveReport:
             "per_node": self.per_node,
             "transport": self.transport,
             "runtime_errors": self.runtime_errors,
+            "correct_flow_ratio": self.correct_flow_ratio,
+            "faulted_nodes": sorted(self.faulted_node_ids),
+            "chaos": self.chaos,
+            "supervision": self.supervision,
+            "invariants": self.invariants,
+            "failed": self.failed,
+            "ok": self.ok,
         }
 
 
@@ -256,6 +358,14 @@ class LiveDeployment:
         self._started_at: Optional[float] = None
         self._stopped = False
         self._runtime_errors: List[str] = []
+        self._errors_dropped = 0
+        self._failed = False
+        # Fault machinery (wired in start()).
+        self.supervisor: Optional[NodeSupervisor] = None
+        self.monitor: Optional[InvariantMonitor] = None
+        self.injector: Optional[DatagramFaultInjector] = None
+        self.chaos_engine: Optional[LiveChaosEngine] = None
+        self.chaos_schedule: Optional[FaultSchedule] = None
 
     # ------------------------------------------------------------------
     # Duck-type parity with OverlayNetwork / Deployment
@@ -271,13 +381,52 @@ class LiveDeployment:
         """The overlay node for ``node_id`` (generator duck-typing)."""
         return self.processes[node_id].overlay
 
+    @property
+    def nodes(self) -> Dict[NodeId, OverlayNode]:
+        """Overlay nodes keyed by id (InvariantMonitor duck-typing)."""
+        return {
+            node_id: process.overlay
+            for node_id, process in self.processes.items()
+        }
+
+    @property
+    def stats(self) -> StatsRegistry:
+        """The deployment-wide registry (ChaosEngine duck-typing): the
+        first node's, by the same convention the shared PKI uses."""
+        if not self.processes:
+            raise LiveRuntimeError("deployment not started")
+        return self.processes[min(self.processes, key=str)].stats
+
+    def crash(self, node_id: NodeId) -> None:
+        """Lose a node's overlay soft state (supervisor kill path).
+        Plain instance method so an armed InvariantMonitor can wrap it
+        exactly as it wraps :meth:`OverlayNetwork.crash`."""
+        self.processes[node_id].overlay.crash()
+
+    def recover(self, node_id: NodeId) -> None:
+        """Re-initialize a node's overlay state after a restart."""
+        self.processes[node_id].overlay.recover()
+
     # ------------------------------------------------------------------
     # Boot
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind sockets, wire links, arm timers, and start traffic."""
+        """Bind sockets, wire links, arm timers, and start traffic.
+
+        Partial-failure safe: if any node's bind or link wiring fails,
+        everything already started is torn down (via the idempotent
+        :meth:`stop`) before the error propagates — a failed boot never
+        leaks bound sockets or armed timers.
+        """
         if self.scheduler is not None:
             raise LiveRuntimeError("deployment already started")
+        try:
+            await self._boot()
+        except BaseException:
+            await self.stop()
+            raise
+
+    async def _boot(self) -> None:
         config = self.config
         loop = asyncio.get_event_loop()
         loop.set_exception_handler(self._on_loop_exception)
@@ -286,6 +435,11 @@ class LiveDeployment:
         for node_id in self.topology.nodes:
             self.pki.register(node_id)
         self.mtmw = Mtmw.create(self.topology, self.pki)
+        self.chaos_schedule = self._resolve_chaos()
+        if self.chaos_schedule is not None:
+            self.injector = DatagramFaultInjector(
+                self.scheduler.rngs.stream("live-chaos")
+            )
 
         # Phase 1: bind every node's socket (ephemeral ports: the OS
         # guarantees no collisions, and the MTMW does not care about
@@ -297,8 +451,17 @@ class LiveDeployment:
                 # counters can only live in one registry; credit them to
                 # the first node (attach_metrics replaces, not adds).
                 self.pki.attach_metrics(stats.metrics)
-            transport = await AsyncioUdpTransport.open(
-                node_id, host=config.host, metrics=stats.metrics
+            if self.injector is not None:
+                transport: AsyncioUdpTransport = await ChaosUdpTransport.open(
+                    node_id, host=config.host, metrics=stats.metrics,
+                    injector=self.injector,
+                )
+            else:
+                transport = await AsyncioUdpTransport.open(
+                    node_id, host=config.host, metrics=stats.metrics
+                )
+            transport.on_dispatch_error = (
+                lambda exc, _node=node_id: self._on_dispatch_error(_node, exc)
             )
             overlay = OverlayNode(
                 self.scheduler, node_id, self.mtmw, self.pki, config.overlay, stats
@@ -341,8 +504,38 @@ class LiveDeployment:
 
         for process in self.processes.values():
             process.overlay.start()
+
+        # Safety + fault machinery.  Order matters: the monitor wraps
+        # this deployment's crash/recover first, so every supervised kill
+        # and restart passes through its state-loss bookkeeping.
+        if config.monitor_invariants:
+            self.monitor = InvariantMonitor(
+                self, check_interval=config.invariant_check_interval
+            )
+            self.monitor.arm()
+        self.supervisor = NodeSupervisor(self, config.supervision)
+        self.supervisor.arm()
+        if self.chaos_schedule is not None:
+            assert self.injector is not None
+            self.chaos_engine = LiveChaosEngine(
+                self, self.chaos_schedule, self.injector, self.supervisor
+            )
+            self.chaos_engine.arm()
+
         self._started_at = loop.time()
         self._start_traffic()
+
+    def _resolve_chaos(self) -> Optional[FaultSchedule]:
+        """The run's fault schedule: explicit, from a preset, or none."""
+        config = self.config
+        if config.chaos is not None:
+            return config.chaos
+        if config.chaos_preset is None:
+            return None
+        spec = CHAOS_PRESETS[config.chaos_preset](
+            duration=config.inject_seconds, intensity=config.chaos_intensity
+        )
+        return spec.generate(self.topology, seed=config.seed)
 
     def _start_traffic(self) -> None:
         """One CBR flow per node; alternating priority/reliable semantics."""
@@ -405,25 +598,61 @@ class LiveDeployment:
     # Teardown
     # ------------------------------------------------------------------
     async def stop(self) -> None:
-        """Graceful teardown: stop traffic and timers, close every socket."""
+        """Graceful teardown: stop traffic and timers, close every socket.
+        Idempotent, and safe to call after a partially failed start."""
         if self._stopped:
             return
         self._stopped = True
         for generator in self.traffic:
             generator.stop()
+        if self.supervisor is not None:
+            self.supervisor.stop()
         if self.scheduler is not None:
             self.scheduler.shutdown()
         for process in self.processes.values():
             process.transport.close()
-        # Give asyncio one cycle to run transport close callbacks.
+        # Give asyncio one cycle to run transport close callbacks (and
+        # the cancelled watchdog task's unwinding).
         await asyncio.sleep(0)
 
     def _on_loop_exception(self, loop: Any, context: Dict[str, Any]) -> None:
+        """An exception escaped into the event loop: attribute it to the
+        owning node where possible, record it, and fail the run."""
         message = context.get("message") or "event-loop error"
         exception = context.get("exception")
         if exception is not None:
             message = f"{message}: {type(exception).__name__}: {exception}"
-        self._runtime_errors.append(message)
+        node_id = None
+        for key in ("protocol", "transport"):
+            owner = getattr(context.get(key), "node_id", None)
+            if owner is not None and owner in self.processes:
+                node_id = owner
+                break
+        if node_id is not None:
+            message = f"node {node_id!r}: {message}"
+            self.processes[node_id].stats.counter("live.loop.exceptions").add()
+        self._failed = True
+        self._record_error(message)
+
+    def _on_dispatch_error(self, node_id: NodeId, exc: BaseException) -> None:
+        """A receive handler raised (caught in the transport so the
+        node's receive path survives): charge the owning node and fail
+        the run — delivery numbers from a node that throws on receive
+        prove nothing."""
+        self._failed = True
+        process = self.processes.get(node_id)
+        if process is not None:
+            process.stats.counter("live.loop.exceptions").add()
+        self._record_error(
+            f"node {node_id!r}: receive dispatch failed: "
+            f"{type(exc).__name__}: {exc}"
+        )
+
+    def _record_error(self, message: str) -> None:
+        if len(self._runtime_errors) < MAX_RUNTIME_ERRORS:
+            self._runtime_errors.append(message)
+        else:
+            self._errors_dropped += 1
 
     # ------------------------------------------------------------------
     # Reporting
@@ -455,6 +684,9 @@ class LiveDeployment:
             "misdirected": 0,
             "unknown_sender": 0,
             "encode_errors": 0,
+            "dispatch_errors": 0,
+            "send_errors": 0,
+            "send_retries": 0,
         }
         for process in self.processes.values():
             transport = process.transport
@@ -464,6 +696,19 @@ class LiveDeployment:
             transport_totals["misdirected"] += transport.misdirected
             transport_totals["unknown_sender"] += transport.unknown_sender
             transport_totals["encode_errors"] += transport.encode_errors
+            transport_totals["dispatch_errors"] += transport.dispatch_errors
+            transport_totals["send_errors"] += transport.send_errors
+            transport_totals["send_retries"] += transport.send_retries
+        runtime_errors = list(self._runtime_errors)
+        if self._errors_dropped:
+            runtime_errors.append(
+                f"... {self._errors_dropped} further runtime error(s) dropped"
+            )
+        chaos_summary = None
+        if self.chaos_engine is not None:
+            chaos_summary = self.chaos_engine.summary()
+            chaos_summary["injector"] = self.injector.summary()
+            chaos_summary["schedule_counts"] = self.chaos_schedule.counts()
         return LiveReport(
             nodes=self.config.nodes,
             duration=self.config.duration,
@@ -481,7 +726,15 @@ class LiveDeployment:
                 )
             },
             transport=transport_totals,
-            runtime_errors=list(self._runtime_errors),
+            runtime_errors=runtime_errors,
+            chaos=chaos_summary,
+            supervision=(
+                self.supervisor.summary() if self.supervisor is not None else None
+            ),
+            invariants=(
+                self.monitor.summary() if self.monitor is not None else None
+            ),
+            failed=self._failed,
         )
 
 

@@ -106,9 +106,16 @@ class UdpSendChannel:
 class AsyncioUdpTransport(asyncio.DatagramProtocol):
     """One overlay node's UDP socket plus per-neighbor dispatch."""
 
+    #: Wait before retrying a send that failed with a transient OSError
+    #: (e.g. ENOBUFS under load); one retry, then the PoR link's own
+    #: retransmission takes over.
+    SEND_RETRY_DELAY = 0.01
+
     def __init__(self, node_id: Any, metrics: Any = None):
         self.node_id = node_id
         self._transport: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._host = "127.0.0.1"
         self._peers: Dict[Any, Address] = {}
         self._inbound: Dict[Any, UdpReceiveChannel] = {}
         # Drop accounting (spray-resistance observability).
@@ -118,6 +125,15 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         self.misdirected = 0
         self.unknown_sender = 0
         self.encode_errors = 0
+        self.dispatch_errors = 0
+        self.send_errors = 0
+        self.send_retries = 0
+        #: When set, an exception escaping a receiver's ``on_receive`` is
+        #: swallowed (counted as ``dispatch_errors``) and reported here
+        #: instead of unwinding into the event loop — the deployment uses
+        #: this to attribute the failure to the owning node.  Unset, the
+        #: exception propagates (standalone-transport behavior).
+        self.on_dispatch_error: Optional[Callable[[BaseException], None]] = None
         self._counters = None
         if metrics is not None:
             self._counters = {
@@ -126,6 +142,14 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
                 "tx": metrics.counter("live.tx.datagrams"),
                 "tx_bytes": metrics.counter("live.tx.bytes"),
                 "drops": metrics.counter("live.rx.drops"),
+                # Per-reason drop breakdown (mirrors the attribute
+                # counters, so per-node snapshots expose them).
+                "drop_decode": metrics.counter("live.rx.drop.decode"),
+                "drop_misdirected": metrics.counter("live.rx.drop.misdirected"),
+                "drop_unknown": metrics.counter("live.rx.drop.unknown_sender"),
+                "dispatch_errors": metrics.counter("live.rx.dispatch_errors"),
+                "send_errors": metrics.counter("live.tx.send_errors"),
+                "send_retries": metrics.counter("live.tx.send_retries"),
             }
 
     # ------------------------------------------------------------------
@@ -138,15 +162,34 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: Any = None,
+        **kwargs: Any,
     ) -> "AsyncioUdpTransport":
         """Bind a UDP socket for ``node_id`` (port 0 = ephemeral) and
-        return the ready transport."""
-        protocol = cls(node_id, metrics=metrics)
-        loop = asyncio.get_event_loop()
-        await loop.create_datagram_endpoint(
-            lambda: protocol, local_addr=(host, port)
-        )
+        return the ready transport.  Extra keyword arguments go to the
+        subclass constructor (e.g. the chaos transport's injector)."""
+        protocol = cls(node_id, metrics=metrics, **kwargs)
+        await protocol._bind(host, port)
         return protocol
+
+    async def _bind(self, host: str, port: int) -> None:
+        self._host = host
+        self._loop = asyncio.get_event_loop()
+        await self._loop.create_datagram_endpoint(
+            lambda: self, local_addr=(host, port)
+        )
+
+    async def reopen(self, host: Optional[str] = None, port: int = 0) -> Address:
+        """Bind a fresh socket after :meth:`close` — the supervisor's
+        restart path.  Peer registrations, receive channels, and counters
+        all survive; only the OS-level endpoint (and thus, with an
+        ephemeral port, the local address) is new.  Returns the new
+        address so peers can be re-pointed at it."""
+        if self._transport is not None:
+            raise LiveRuntimeError(
+                f"transport for {self.node_id!r} is still open"
+            )
+        await self._bind(host or self._host, port)
+        return self.local_address
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self._transport = transport  # type: ignore[assignment]
@@ -157,6 +200,11 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         if self._transport is None:
             raise LiveRuntimeError(f"transport for {self.node_id!r} is not bound")
         return self._transport.get_extra_info("sockname")[:2]
+
+    @property
+    def closed(self) -> bool:
+        """True when no socket is bound (pre-open, or post-close)."""
+        return self._transport is None
 
     def close(self) -> None:
         """Close the socket; safe to call more than once."""
@@ -173,6 +221,17 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         channel = UdpReceiveChannel(peer_id)
         self._inbound[peer_id] = channel
         return channel
+
+    def update_peer_address(self, peer_id: Any, address: Address) -> None:
+        """Re-point an existing registration at a new address (the peer
+        restarted on a fresh ephemeral port).  Unlike
+        :meth:`register_peer` this keeps the receive channel — and the
+        PoR endpoint's ``on_receive`` hook bound to it — intact."""
+        if peer_id not in self._peers:
+            raise LiveRuntimeError(
+                f"{self.node_id!r} has no registered peer {peer_id!r}"
+            )
+        self._peers[peer_id] = address
 
     def send_channel(self, peer_id: Any) -> UdpSendChannel:
         """The sending half of the directed link to ``peer_id``."""
@@ -194,8 +253,14 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
     # ------------------------------------------------------------------
     # Datagram I/O
     # ------------------------------------------------------------------
-    def sendto(self, peer_id: Any, data: bytes) -> None:
-        """Send raw encoded bytes to a registered peer."""
+    def sendto(self, peer_id: Any, data: bytes, _retry: bool = False) -> None:
+        """Send raw encoded bytes to a registered peer.
+
+        A transient :class:`OSError` (e.g. ``ENOBUFS`` when the kernel's
+        socket buffers are saturated) is counted and retried once after a
+        short delay; a second failure is dropped — the PoR link treats it
+        as loss and retransmits.
+        """
         if self._transport is None:
             return  # shutting down; drop silently
         address = self._peers.get(peer_id)
@@ -203,10 +268,28 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
             raise LiveRuntimeError(
                 f"{self.node_id!r} has no registered peer {peer_id!r}"
             )
-        self._transport.sendto(data, address)
+        try:
+            self._transport.sendto(data, address)
+        except OSError:
+            self.send_errors += 1
+            if self._counters is not None:
+                self._counters["send_errors"].add()
+            if not _retry and self._loop is not None:
+                self._loop.call_later(
+                    self.SEND_RETRY_DELAY, self._retry_sendto, peer_id, data
+                )
+            return
         if self._counters is not None:
             self._counters["tx"].add()
             self._counters["tx_bytes"].add(len(data))
+
+    def _retry_sendto(self, peer_id: Any, data: bytes) -> None:
+        if self._transport is None or peer_id not in self._peers:
+            return  # closed (or peer torn down) while the retry was queued
+        self.send_retries += 1
+        if self._counters is not None:
+            self._counters["send_retries"].add()
+        self.sendto(peer_id, data, _retry=True)
 
     def note_encode_error(self) -> None:
         """Record a dropped-at-encode packet (see UdpSendChannel.send)."""
@@ -222,21 +305,34 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
             datagram = decode_datagram(data)
         except WireDecodeError:
             self.decode_errors += 1
-            if self._counters is not None:
-                self._counters["drops"].add()
+            self._note_drop("drop_decode")
             return
         if datagram.receiver != self.node_id:
             self.misdirected += 1
-            if self._counters is not None:
-                self._counters["drops"].add()
+            self._note_drop("drop_misdirected")
             return
         channel = self._inbound.get(datagram.sender)
         if channel is None:
             self.unknown_sender += 1
-            if self._counters is not None:
-                self._counters["drops"].add()
+            self._note_drop("drop_unknown")
             return
-        channel.deliver(datagram.packet)
+        try:
+            channel.deliver(datagram.packet)
+        except Exception as exc:
+            self.dispatch_errors += 1
+            if self._counters is not None:
+                self._counters["dispatch_errors"].add()
+            if self.on_dispatch_error is None:
+                raise
+            # One poisoned handler (or payload) must not take the node's
+            # receive path down with it; the deployment decides whether
+            # the run still counts as healthy.
+            self.on_dispatch_error(exc)
+
+    def _note_drop(self, reason: str) -> None:
+        if self._counters is not None:
+            self._counters["drops"].add()
+            self._counters[reason].add()
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover
         # ICMP port-unreachable while a peer restarts: UDP is lossy and

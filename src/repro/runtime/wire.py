@@ -18,11 +18,16 @@ for every payload that crosses a Proof-of-Receipt link:
 
 Datagram layout (all integers big-endian)::
 
-    0      2      3        4           8
-    +------+------+--------+-----------+----------------- - - -
-    | "IT" | ver  | flags  | body_len  | body (body_len bytes)
-    +------+------+--------+-----------+----------------- - - -
+    0      2      3        4           8       12
+    +------+------+--------+-----------+-------+----------------- - - -
+    | "IT" | ver  | flags  | body_len  | crc32 | body (body_len bytes)
+    +------+------+--------+-----------+-------+----------------- - - -
     body = sender_id | receiver_id | envelope_tag(1B) | envelope fields
+
+The CRC-32 covers the header (with the crc field itself excluded) plus
+the body, so any in-flight bit flip — UDP's 16-bit checksum is weak and
+optional — is rejected at decode time instead of reaching protocol state
+with a corrupted sequence number or epoch.
 
 Malformed input *never* escapes as ``struct.error`` / ``IndexError`` /
 ``UnicodeDecodeError``: :func:`decode_datagram` raises
@@ -40,6 +45,7 @@ test in ``tests/test_runtime_wire.py`` drives this with Hypothesis).
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
@@ -57,7 +63,11 @@ from repro.messaging.message import (
 from repro.routing.link_state import LinkStateUpdate
 
 MAGIC = b"IT"
-VERSION = 1
+VERSION = 2
+
+#: Bytes before the body: magic(2) + version(1) + flags(1) + body_len(4)
+#: + crc32(4).
+HEADER_SIZE = 12
 
 #: Upper bound on an encoded body; larger datagrams are rejected on both
 #: sides (a UDP datagram cannot exceed 64 KiB anyway).
@@ -523,33 +533,38 @@ def encode_datagram(sender: Any, receiver: Any, packet: Any) -> bytes:
         raise WireEncodeError(
             f"encoded body is {len(encoded)} bytes (max {MAX_BODY})"
         )
-    return MAGIC + struct.pack(">BBI", VERSION, 0, len(encoded)) + encoded
+    header = MAGIC + struct.pack(">BBI", VERSION, 0, len(encoded))
+    crc = zlib.crc32(header + encoded)
+    return header + struct.pack(">I", crc) + encoded
 
 
 def decode_datagram(data: bytes) -> Datagram:
     """Decode one datagram; raises :class:`WireDecodeError` on any defect.
 
     Rejects bad magic, unknown versions, truncated bodies, trailing
-    garbage, over-length claims, and unknown tags — a live node treats
-    all of these as "not our traffic" and drops the datagram.
+    garbage, over-length claims, checksum mismatches (bit flips in
+    flight), and unknown tags — a live node treats all of these as "not
+    our traffic" and drops the datagram.
     """
     if not isinstance(data, (bytes, bytearray)):
         raise WireDecodeError(f"expected bytes, got {type(data).__name__}")
     data = bytes(data)
-    if len(data) < 8:
+    if len(data) < HEADER_SIZE:
         raise WireDecodeError(f"datagram too short ({len(data)} bytes)")
     if data[:2] != MAGIC:
         raise WireDecodeError("bad magic")
-    version, _flags, body_len = struct.unpack(">BBI", data[2:8])
+    version, _flags, body_len, crc = struct.unpack(">BBII", data[2:HEADER_SIZE])
     if version != VERSION:
         raise WireDecodeError(f"unsupported wire version {version}")
     if body_len > MAX_BODY:
         raise WireDecodeError(f"body length {body_len} exceeds maximum")
-    body = data[8:]
+    body = data[HEADER_SIZE:]
     if len(body) != body_len:
         raise WireDecodeError(
             f"length mismatch: header claims {body_len}, body has {len(body)}"
         )
+    if zlib.crc32(data[:8] + body) != crc:
+        raise WireDecodeError("checksum mismatch (datagram corrupted in flight)")
     reader = _Reader(body)
     try:
         sender = reader.node_id()

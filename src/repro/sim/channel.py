@@ -129,6 +129,14 @@ class Channel:
     def impaired(self) -> bool:
         return self._extra_loss > 0.0 or self._extra_delay > 0.0
 
+    @property
+    def extra_loss(self) -> float:
+        return self._extra_loss
+
+    @property
+    def extra_delay(self) -> float:
+        return self._extra_delay
+
     def set_impairment(self, extra_loss: float = 0.0, extra_delay: float = 0.0) -> None:
         """Install a gray failure: the channel stays *up* but silently
         drops an extra ``extra_loss`` fraction of packets and adds

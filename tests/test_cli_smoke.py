@@ -39,6 +39,15 @@ SMOKE_CASES = [
         id="live",
     ),
     pytest.param(
+        ["live", "--nodes", "3", "--duration", "1.5", "--rate", "10",
+         "--chaos", "soak", "--seed", "5"],
+        id="live-chaos",
+    ),
+    pytest.param(
+        ["stats", "--live", "--seconds", "1", "--seed", "5"],
+        id="stats-live",
+    ),
+    pytest.param(
         ["perfbench", "--quick", "--seed", "0"],
         id="perfbench",
     ),
@@ -60,7 +69,7 @@ def test_parser_covers_every_command():
         a for a in parser._actions
         if isinstance(a, argparse._SubParsersAction)
     )
-    assert sorted(sub.choices) == sorted(case.values[0][0] for case in SMOKE_CASES)
+    assert sorted(sub.choices) == sorted({case.values[0][0] for case in SMOKE_CASES})
 
 
 def test_stats_json_is_valid(tmp_path):
@@ -85,6 +94,24 @@ def test_live_json_report_and_min_delivery(tmp_path, capsys):
     assert report["nodes"] == 2
     assert report["delivery_ratio"] >= 0.9
     assert not report["runtime_errors"]
+
+
+def test_live_chaos_report_sections(tmp_path, capsys):
+    out_path = tmp_path / "live_chaos.json"
+    exit_code = cli.main(
+        ["live", "--nodes", "3", "--duration", "1.5", "--rate", "10",
+         "--chaos", "soak", "--seed", "5", "--min-delivery", "0.99",
+         "--output", str(out_path)]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+    assert "chaos:" in out and "supervision:" in out and "invariants:" in out
+    assert "rx drops:" in out
+    report = json.loads(out_path.read_text())
+    assert report["chaos"]["injector"].keys() >= {"losses", "duplicates"}
+    assert "kills" in report["supervision"]
+    assert report["invariants"]["violations"] == 0
+    assert report["ok"] is True
 
 
 def test_live_min_delivery_gate_fails_when_unreachable(capsys):

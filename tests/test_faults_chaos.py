@@ -162,6 +162,50 @@ class TestChaosEngine:
         net.run(4.0)
         assert not net.channels[(1, 2)].impaired
 
+    def test_noise_fault_projects_onto_loss_and_delay(self):
+        # In the simulator, the wire-noise fault's corruption share folds
+        # into loss (a corrupted datagram dies at decode/MAC), and
+        # dup/reorder have no sim-channel representation.
+        net = build(ring(5))
+        schedule = manual_schedule(
+            Fault(1.0, "noise", (1, 2), 4.0, params=(
+                ("corrupt", 0.5), ("dup", 0.9), ("extra_delay", 0.02),
+                ("extra_loss", 0.5), ("reorder", 0.9),
+            ))
+        )
+        engine = ChaosEngine(net, schedule)
+        engine.arm()
+        net.run(2.0)
+        channel = net.channels[(1, 2)]
+        assert channel.impaired
+        # 1 - (1-0.5)(1-0.5) = 0.75 composed loss.
+        assert channel.extra_loss == pytest.approx(0.75)
+        assert channel.extra_delay == pytest.approx(0.02)
+        net.run(4.0)
+        assert not net.channels[(1, 2)].impaired
+        assert engine.counts["noise"] == 1
+
+    def test_noise_and_gray_compose_on_same_edge(self):
+        net = build(ring(5))
+        schedule = manual_schedule(
+            Fault(1.0, "gray", (1, 2), 10.0,
+                  params=(("extra_delay", 0.01), ("extra_loss", 0.2))),
+            Fault(2.0, "noise", (1, 2), 2.0, params=(
+                ("corrupt", 0.0), ("dup", 0.1), ("extra_delay", 0.01),
+                ("extra_loss", 0.5), ("reorder", 0.1),
+            )),
+        )
+        ChaosEngine(net, schedule).arm()
+        net.run(3.0)
+        channel = net.channels[(1, 2)]
+        # 1 - (1-0.2)(1-0.5) = 0.6 while both are active.
+        assert channel.extra_loss == pytest.approx(0.6)
+        assert channel.extra_delay == pytest.approx(0.02)
+        net.run(5.0)
+        # The noise fault ended; the gray failure must survive unchanged.
+        assert channel.extra_loss == pytest.approx(0.2)
+        assert channel.extra_delay == pytest.approx(0.01)
+
     def test_burst_impairs_all_links_of_node(self):
         net = build(ring(5))
         schedule = manual_schedule(

@@ -11,6 +11,7 @@ def spec(duration=120.0, **kwargs):
     defaults = dict(
         flap_rate=0.05, gray_rate=0.04, burst_rate=0.03,
         crash_rate=0.02, churn_rate=0.02, partition_rate=0.01,
+        noise_rate=0.03,
     )
     defaults.update(kwargs)
     return ChaosSpec(duration=duration, **defaults)
@@ -36,7 +37,7 @@ class TestDeterminism:
         full = spec().generate(topo, seed=7)
         crashes_only = spec(
             flap_rate=0.0, gray_rate=0.0, burst_rate=0.0,
-            churn_rate=0.0, partition_rate=0.0,
+            churn_rate=0.0, partition_rate=0.0, noise_rate=0.0,
         ).generate(topo, seed=7)
         assert crashes_only.only("crash").faults == full.only("crash").faults
 
@@ -61,7 +62,7 @@ class TestScheduleContents:
         topo = chordal_ring(10)
         schedule = spec().generate(topo, seed=5)
         for fault in schedule:
-            if fault.kind in ("flap", "gray"):
+            if fault.kind in ("flap", "gray", "noise"):
                 assert topo.has_edge(*fault.target)
             elif fault.kind != "partition":
                 assert topo.has_node(fault.target[0])
@@ -109,9 +110,9 @@ class TestShrinking:
     def test_merge_is_sorted_union(self):
         topo = chordal_ring(10)
         a = spec(gray_rate=0, burst_rate=0, crash_rate=0, churn_rate=0,
-                 partition_rate=0).generate(topo, seed=5)
+                 partition_rate=0, noise_rate=0).generate(topo, seed=5)
         b = spec(flap_rate=0, burst_rate=0, gray_rate=0, churn_rate=0,
-                 partition_rate=0).generate(topo, seed=5)
+                 partition_rate=0, noise_rate=0).generate(topo, seed=5)
         merged = a.merge(b)
         assert len(merged) == len(a) + len(b)
         starts = [f.start for f in merged]
@@ -127,6 +128,31 @@ class TestPresetsAndValidation:
     def test_full_preset_enables_every_family(self):
         preset = ChaosSpec.full(duration=60.0)
         assert preset.crash_rate > 0 and preset.partition_rate > 0
+
+    def test_live_soak_preset_generates_wire_noise(self):
+        preset = ChaosSpec.live_soak(duration=600.0)
+        schedule = preset.generate(chordal_ring(6), seed=3)
+        counts = schedule.counts()
+        assert counts["noise"] > 0
+        assert counts["crash"] > 0
+        for fault in schedule.only("noise"):
+            assert set(dict(fault.params)) == {
+                "corrupt", "dup", "extra_delay", "extra_loss", "reorder"
+            }
+            assert all(0.0 <= value <= 1.0 for _, value in fault.params)
+
+    def test_noise_params_respect_bounds(self):
+        generated = spec(duration=600.0, noise_rate=0.1).generate(
+            chordal_ring(8), seed=11
+        )
+        reference = ChaosSpec(duration=600.0)
+        for fault in generated.only("noise"):
+            assert reference.noise_loss[0] <= fault.param("extra_loss") \
+                <= reference.noise_loss[1]
+            assert reference.noise_dup[0] <= fault.param("dup") \
+                <= reference.noise_dup[1]
+            assert reference.noise_reorder[0] <= fault.param("reorder") \
+                <= reference.noise_reorder[1]
 
     def test_invalid_duration_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -311,3 +311,59 @@ def test_live_deployment_double_start_rejected():
         await deployment.stop()
 
     run(check())
+
+
+def test_live_start_partial_failure_closes_opened_sockets(monkeypatch):
+    # If the third node's bind fails, the two sockets already bound must
+    # be closed before the error propagates — a failed boot never leaks.
+    async def check():
+        opened = []
+        real_open = AsyncioUdpTransport.open.__func__
+
+        async def flaky_open(cls, node_id, **kwargs):
+            if len(opened) == 2:
+                raise OSError("bind failed")
+            transport = await real_open(cls, node_id, **kwargs)
+            opened.append(transport)
+            return transport
+
+        monkeypatch.setattr(AsyncioUdpTransport, "open", classmethod(flaky_open))
+        deployment = LiveDeployment(LiveConfig(nodes=3, duration=1.0))
+        with pytest.raises(OSError, match="bind failed"):
+            await deployment.start()
+        assert len(opened) == 2
+        assert all(transport.closed for transport in opened)
+        # stop() after the failed start stays a safe no-op.
+        await deployment.stop()
+
+    run(check())
+
+
+def test_poisoned_receive_handler_is_attributed_and_fails_the_run():
+    # A receive handler that raises must not kill the event loop; the
+    # error is charged to the owning node and the run is marked failed —
+    # delivery numbers from a node that throws on receive prove nothing.
+    async def check():
+        deployment = LiveDeployment(
+            LiveConfig(nodes=2, duration=0.8, seed=2, rate_msgs_per_sec=30.0)
+        )
+        await deployment.start()
+
+        def poisoned(packet):
+            raise RuntimeError("poisoned handler")
+
+        deployment.processes[1].transport.receive_channel(2).on_receive = poisoned
+        try:
+            await deployment.serve()
+        finally:
+            await deployment.stop()
+        report = deployment.report()
+        assert report.failed
+        assert not report.ok
+        assert any("receive dispatch failed" in e for e in report.runtime_errors)
+        assert any("node 1" in e for e in report.runtime_errors)
+        assert report.transport["dispatch_errors"] >= 1
+        snapshot = deployment.processes[1].snapshot()
+        assert snapshot["counters"].get("live.loop.exceptions", 0) >= 1
+
+    run(check())

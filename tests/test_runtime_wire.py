@@ -14,6 +14,7 @@ Two contracts, driven by Hypothesis:
 from __future__ import annotations
 
 import struct
+import zlib
 
 import pytest
 from hypothesis import given, settings
@@ -32,6 +33,7 @@ from repro.messaging.message import (
 )
 from repro.routing.link_state import LinkStateUpdate
 from repro.runtime.wire import (
+    HEADER_SIZE,
     MAGIC,
     MAX_BODY,
     VERSION,
@@ -258,7 +260,7 @@ def test_unknown_version_rejected():
 
 
 def test_overlength_claim_rejected():
-    header = MAGIC + struct.pack(">BBI", VERSION, 0, MAX_BODY + 1)
+    header = MAGIC + struct.pack(">BBII", VERSION, 0, MAX_BODY + 1, 0)
     with pytest.raises(WireDecodeError, match="maximum"):
         decode_datagram(header + b"\x00" * 16)
 
@@ -271,10 +273,18 @@ def test_length_mismatch_rejected():
 
 def test_trailing_bytes_inside_body_rejected():
     valid = _valid_datagram()
-    body = valid[8:] + b"\x00"
-    data = MAGIC + struct.pack(">BBI", VERSION, 0, len(body)) + body
+    body = valid[HEADER_SIZE:] + b"\x00"
+    header = MAGIC + struct.pack(">BBI", VERSION, 0, len(body))
+    data = header + struct.pack(">I", zlib.crc32(header + body)) + body
     with pytest.raises(WireDecodeError, match="trailing"):
         decode_datagram(data)
+
+
+def test_checksum_mismatch_rejected():
+    data = bytearray(_valid_datagram())
+    data[-1] ^= 0x40  # flip one bit in the body; header stays plausible
+    with pytest.raises(WireDecodeError, match="checksum"):
+        decode_datagram(bytes(data))
 
 
 def test_non_bytes_input_rejected():

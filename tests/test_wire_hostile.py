@@ -1,0 +1,204 @@
+"""Hostile-input fuzzing for the live wire path (Hypothesis).
+
+The live chaos engine corrupts real datagrams in flight, and an attacker
+can spray a node's UDP port with anything at all.  These tests pin the
+robustness contract end to end:
+
+* ``decode_datagram`` raises the typed :class:`WireDecodeError` — never a
+  primitive ``struct.error`` / ``IndexError`` / ``MemoryError`` — for
+  truncated, bit-flipped, oversized, or arbitrary junk input;
+* the CRC-32 integrity trailer makes rejection of *any* single bit flip
+  a guarantee, not a likelihood — so a corrupted sequence number or
+  epoch can never reach Proof-of-Receipt state (the failure mode behind
+  an unbounded gap scan found by the live soak);
+* :class:`AsyncioUdpTransport` counts every drop by reason and keeps
+  serving;
+* the PoR receive path bounds accepted sequence numbers, so even a
+  well-formed datagram with a hostile seq cannot poison the reorder
+  buffer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.pki import Pki, PkiMode
+from repro.errors import WireDecodeError
+from repro.link.por import PorData, _HelloWrapper, connect_por_pair
+from repro.messaging.message import Hello
+from repro.runtime.transport import AsyncioUdpTransport
+from repro.runtime.wire import MAX_BODY, decode_datagram, encode_datagram
+from repro.sim.channel import Channel, ChannelConfig
+from repro.sim.engine import Simulator
+
+
+def make_link():
+    sim = Simulator(seed=0)
+    pki = Pki(mode=PkiMode.SIMULATED, seed=0, rsa_bits=256)
+    pki.register("a")
+    pki.register("b")
+    cfg = ChannelConfig(latency=0.01)
+    ab = Channel(sim, cfg, name="a->b")
+    ba = Channel(sim, cfg, name="b->a")
+    end_a, end_b = connect_por_pair(sim, "a", "b", ab, ba, pki)
+    delivered_b = []
+    end_b.on_deliver = lambda payload, size: delivered_b.append(payload)
+    return sim, end_a, end_b, delivered_b
+
+
+def valid_datagram(stamp=1):
+    return encode_datagram("peer", "n", _HelloWrapper(Hello("peer", stamp)))
+
+
+# ----------------------------------------------------------------------
+# Codec: every defect is the typed error, bit flips are always caught
+# ----------------------------------------------------------------------
+@given(data=st.data())
+@settings(max_examples=300)
+def test_any_single_bit_flip_is_rejected(data):
+    encoded = bytearray(valid_datagram())
+    position = data.draw(
+        st.integers(min_value=0, max_value=len(encoded) - 1)
+    )
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    encoded[position] ^= 1 << bit
+    # Not "never crashes" — *always rejected*: the CRC covers header and
+    # body, so a flipped bit anywhere cannot decode successfully.
+    with pytest.raises(WireDecodeError):
+        decode_datagram(bytes(encoded))
+
+
+@given(data=st.data())
+@settings(max_examples=200)
+def test_multi_byte_corruption_never_escapes_typed_error(data):
+    encoded = bytearray(valid_datagram())
+    for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(encoded) - 1)
+        )
+        encoded[position] = data.draw(st.integers(min_value=0, max_value=255))
+    try:
+        decoded = decode_datagram(bytes(encoded))
+    except WireDecodeError:
+        return
+    # Astronomically unlikely (CRC collision), but if it decodes it must
+    # at least be a structurally complete datagram.
+    assert decoded.packet is not None
+
+
+@given(junk=st.binary(max_size=2048))
+@settings(max_examples=300)
+def test_arbitrary_junk_raises_typed_error_or_nothing(junk):
+    with pytest.raises(WireDecodeError):
+        decode_datagram(junk)
+
+
+@given(cut=st.integers(min_value=0, max_value=200))
+@settings(max_examples=100)
+def test_every_truncation_is_rejected(cut):
+    encoded = valid_datagram()
+    truncated = encoded[: min(cut, len(encoded) - 1)]
+    with pytest.raises(WireDecodeError):
+        decode_datagram(truncated)
+
+
+def test_oversized_length_claim_rejected_without_allocation():
+    import struct
+
+    from repro.runtime.wire import MAGIC, VERSION
+
+    header = MAGIC + struct.pack(">BBII", VERSION, 0, MAX_BODY + 1, 0)
+    with pytest.raises(WireDecodeError, match="maximum"):
+        decode_datagram(header + b"\x00" * 64)
+
+
+# ----------------------------------------------------------------------
+# Transport: hostile datagrams are counted and dropped, never raised
+# ----------------------------------------------------------------------
+def test_transport_counts_drops_by_reason():
+    transport = AsyncioUdpTransport("n")
+    transport.register_peer("peer", ("127.0.0.1", 9))
+    hello = _HelloWrapper(Hello("peer", 1))
+    source = ("127.0.0.1", 55_555)
+
+    flipped = bytearray(valid_datagram())
+    flipped[-1] ^= 0x01
+    transport.datagram_received(bytes(flipped), source)          # corrupted
+    transport.datagram_received(b"\x00" * 40, source)            # junk
+    transport.datagram_received(
+        encode_datagram("peer", "other", hello), source          # misdirected
+    )
+    transport.datagram_received(
+        encode_datagram("mallory", "n", hello), source           # unknown
+    )
+    assert transport.decode_errors == 2
+    assert transport.misdirected == 1
+    assert transport.unknown_sender == 1
+    assert transport.datagrams_received == 4
+
+    # The valid path still works after the hostile barrage.
+    received = []
+    transport.receive_channel("peer").on_receive = received.append
+    transport.datagram_received(encode_datagram("peer", "n", hello), source)
+    assert len(received) == 1
+
+
+@given(junk=st.binary(max_size=512))
+@settings(max_examples=200)
+def test_transport_survives_arbitrary_spray(junk):
+    transport = AsyncioUdpTransport("n")
+    before = transport.decode_errors
+    transport.datagram_received(junk, ("127.0.0.1", 1))
+    assert transport.decode_errors == before + 1
+
+
+def test_dispatch_error_hook_swallows_poisoned_handler():
+    transport = AsyncioUdpTransport("n")
+    transport.register_peer("peer", ("127.0.0.1", 9))
+    reported = []
+    transport.on_dispatch_error = reported.append
+    transport.receive_channel("peer").on_receive = lambda packet: 1 / 0
+    transport.datagram_received(
+        valid_datagram(), ("127.0.0.1", 55_555)
+    )
+    assert transport.dispatch_errors == 1
+    assert len(reported) == 1
+    assert isinstance(reported[0], ZeroDivisionError)
+
+
+def test_dispatch_error_without_hook_propagates():
+    transport = AsyncioUdpTransport("n")
+    transport.register_peer("peer", ("127.0.0.1", 9))
+    transport.receive_channel("peer").on_receive = lambda packet: 1 / 0
+    with pytest.raises(ZeroDivisionError):
+        transport.datagram_received(valid_datagram(), ("127.0.0.1", 5))
+    assert transport.dispatch_errors == 1
+
+
+# ----------------------------------------------------------------------
+# PoR: hostile sequence numbers are bounded out, not buffered
+# ----------------------------------------------------------------------
+def test_por_rejects_sequence_numbers_beyond_reorder_horizon():
+    sim, end_a, end_b, delivered_b = make_link()
+    end_a.send(b"hi", 64)
+    sim.run(until=1.0)
+    assert delivered_b == [b"hi"]
+
+    window = end_b.config.window
+    expected = end_b._chain.next_seq
+    hostile = PorData(
+        end_b._rx_epoch, expected + 2**40, b"\x00" * 16, b"evil", 64
+    )
+    end_b._on_data(hostile)
+    assert end_b.out_of_window_dropped == 1
+    assert expected + 2**40 not in end_b._reorder
+
+    # Just inside the horizon is still buffered (legitimate reordering).
+    ahead = PorData(
+        end_b._rx_epoch, expected + window, b"\x00" * 16, b"early", 64
+    )
+    end_b._on_data(ahead)
+    assert end_b.out_of_window_dropped == 1
+    assert expected + window in end_b._reorder
