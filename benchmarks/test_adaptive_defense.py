@@ -1,0 +1,206 @@
+"""Adaptive vs fixed defense: the feedback controller's win conditions.
+
+Runs the same seeded chaos schedule twice per preset — once with the
+fixed staggered proactive-recovery rotation, once with the
+belief-driven adaptive controller (:mod:`repro.resilience.adaptive`) —
+on the simulated substrate for the ``link``, ``full``, and ``soak``
+presets, and on the live asyncio/UDP substrate for ``soak``.  Both arms
+share the actuation, budget, and downtime accounting, so the comparison
+isolates the control policy.
+
+Gates (the PR's acceptance bar, also enforced by the ``adaptive-defense``
+CI job on ``BENCH_adaptive.json``):
+
+* delivery under the adaptive controller is no worse than fixed,
+* zero invariant violations in every arm (including ``defense-budget``),
+* the adaptive controller spends strictly less recovery downtime.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import Reporter, run_once
+
+from repro.faults.schedule import ChaosSpec
+from repro.overlay.config import DefenseConfig
+from repro.runtime.live import LiveConfig, run_live
+from repro.workloads.experiment import Deployment
+
+SEED = 2016
+SIM_SECONDS = 120.0
+SETTLE_SECONDS = 10.0
+#: Rotation cadence for the sim arms: short enough that the fixed
+#: baseline pays visible downtime over the horizon.
+SIM_PERIOD = 20.0
+SIM_DOWNTIME = 0.5
+
+SIM_PRESETS = {
+    "link": ChaosSpec.link_level,
+    "full": ChaosSpec.full,
+    "soak": ChaosSpec.live_soak,
+}
+
+LIVE_NODES = 5
+LIVE_DURATION = 6.0
+LIVE_SEED = 3
+
+#: Wall-clock noise allowance for the live delivery comparison (the sim
+#: comparison is exact: same seed, same schedule, deterministic engine).
+LIVE_DELIVERY_EPSILON = 0.03
+
+FLOWS = [(7, 9), (9, 11), (4, 5)]
+
+
+def run_sim_arm(preset: str, adaptive: bool):
+    deployment = Deployment(seed=SEED)
+    spec = SIM_PRESETS[preset](duration=SIM_SECONDS - SETTLE_SECONDS)
+    deployment.add_chaos(spec)
+    deployment.add_defense(
+        adaptive=adaptive, period=SIM_PERIOD, downtime=SIM_DOWNTIME
+    )
+    traffic = [
+        deployment.add_flow(source, dest, rate_fraction=0.2)
+        for source, dest in FLOWS
+    ]
+    # Count *unique* delivered messages per flow: a crash legitimately
+    # resets the destination's dedup horizon, so the raw latency-recorder
+    # count re-counts flooded in-flight copies delivered again after a
+    # restart — which would credit the arm causing more downtime.
+    unique: dict = {flow: set() for flow in FLOWS}
+    def tap(message, node):
+        flow = (message.source, node.node_id)
+        if flow in unique:
+            unique[flow].add(message.uid)
+    for node in deployment.network.nodes.values():
+        node.delivery_observers.append(tap)
+    deployment.run(SIM_SECONDS)
+    deployment.defense.stop()
+    sent = sum(flow.messages_sent for flow in traffic)
+    delivered = sum(len(uids) for uids in unique.values())
+    summary = deployment.defense.summary()
+    invariants = deployment.monitor.summary()
+    return {
+        "adaptive": adaptive,
+        "sent": sent,
+        "delivered": delivered,
+        "delivery_ratio": delivered / sent if sent else 1.0,
+        "violations": invariants["violations"],
+        "by_invariant": invariants["by_invariant"],
+        "recoveries": summary["recoveries_completed"],
+        "downtime_seconds": summary["total_downtime_seconds"],
+        "deferrals": summary["deferrals"],
+        "advances": summary["advances"],
+        "escalations": summary["escalations"],
+        "tightenings": summary["tightenings"],
+        "budget": summary["budget"],
+    }
+
+
+def run_live_arm(adaptive: bool):
+    import dataclasses
+
+    overlay_defaults = LiveConfig().overlay
+    defense = dataclasses.replace(
+        DefenseConfig(),
+        recovery_period=max(2.0, LIVE_DURATION / 2),
+        recovery_downtime=0.25,
+        belief_half_life=max(2.0, LIVE_DURATION / 4),
+        action_cooldown=1.0,
+        control_interval=0.25,
+    )
+    overlay = dataclasses.replace(overlay_defaults, defense=defense)
+    report = run_live(LiveConfig(
+        nodes=LIVE_NODES,
+        duration=LIVE_DURATION,
+        seed=LIVE_SEED,
+        chaos_preset="soak",
+        overlay=overlay,
+        recovery="adaptive" if adaptive else "fixed",
+    ))
+    summary = report.adaptive
+    return {
+        "adaptive": adaptive,
+        "delivery_ratio": report.delivery_ratio,
+        "correct_flow_ratio": report.correct_flow_ratio,
+        "violations": report.violations,
+        "runtime_errors": report.runtime_errors,
+        "recoveries": summary["recoveries_completed"],
+        "downtime_seconds": summary["total_downtime_seconds"],
+        "deferrals": summary["deferrals"],
+        "budget": summary["budget"],
+        "supervision_kills": report.supervision["kills"],
+    }
+
+
+def test_adaptive_defense(benchmark):
+    reporter = Reporter("adaptive")
+
+    def run_all():
+        sim = {
+            preset: {
+                "fixed": run_sim_arm(preset, adaptive=False),
+                "adaptive": run_sim_arm(preset, adaptive=True),
+            }
+            for preset in SIM_PRESETS
+        }
+        live = {
+            "fixed": run_live_arm(adaptive=False),
+            "adaptive": run_live_arm(adaptive=True),
+        }
+        return sim, live
+
+    sim, live = run_once(benchmark, run_all)
+
+    rows = []
+    for preset, arms in sim.items():
+        for mode in ("fixed", "adaptive"):
+            arm = arms[mode]
+            rows.append((
+                f"sim/{preset}", mode,
+                f"{arm['delivery_ratio']:.1%}",
+                arm["recoveries"],
+                f"{arm['downtime_seconds']:.1f}s",
+                arm["violations"],
+            ))
+    for mode in ("fixed", "adaptive"):
+        arm = live[mode]
+        rows.append((
+            "live/soak", mode,
+            f"{arm['delivery_ratio']:.1%}",
+            arm["recoveries"],
+            f"{arm['downtime_seconds']:.2f}s",
+            arm["violations"],
+        ))
+    reporter.table(
+        ["substrate", "mode", "delivery", "recoveries", "downtime", "violations"],
+        rows,
+    )
+    reporter.json_artifact({
+        "benchmark": "adaptive_defense",
+        "seed": SEED,
+        "sim_seconds": SIM_SECONDS,
+        "sim_period": SIM_PERIOD,
+        "sim_downtime": SIM_DOWNTIME,
+        "live_duration": LIVE_DURATION,
+        "sim": sim,
+        "live": live,
+    })
+    reporter.flush()
+
+    for preset, arms in sim.items():
+        fixed, adaptive = arms["fixed"], arms["adaptive"]
+        assert fixed["violations"] == 0, (preset, fixed["by_invariant"])
+        assert adaptive["violations"] == 0, (preset, adaptive["by_invariant"])
+        assert adaptive["delivery_ratio"] >= fixed["delivery_ratio"], preset
+        assert adaptive["downtime_seconds"] < fixed["downtime_seconds"], preset
+        assert adaptive["budget"]["peak_down"] <= adaptive["budget"]["max_down"]
+        assert fixed["recoveries"] > 0, preset
+
+    fixed, adaptive = live["fixed"], live["adaptive"]
+    for arm in (fixed, adaptive):
+        assert arm["violations"] == 0, arm
+        assert not arm["runtime_errors"], arm
+        assert arm["budget"]["peak_down"] <= arm["budget"]["max_down"]
+    assert adaptive["downtime_seconds"] < fixed["downtime_seconds"]
+    assert adaptive["delivery_ratio"] >= (
+        fixed["delivery_ratio"] - LIVE_DELIVERY_EPSILON
+    )

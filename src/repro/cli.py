@@ -137,17 +137,34 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.workloads.experiment import Deployment
 
     deployment = Deployment(seed=args.seed)
-    spec_factory = ChaosSpec.link_level if args.link_level else ChaosSpec.full
+    preset = args.preset
+    if preset is None:
+        preset = "link" if args.link_level else "full"
+    spec_factory = {
+        "link": ChaosSpec.link_level,
+        "full": ChaosSpec.full,
+        "soak": ChaosSpec.live_soak,
+    }[preset]
     spec = spec_factory(duration=args.seconds, intensity=args.intensity)
     schedule = deployment.add_chaos(spec)
+    if args.adaptive or args.fixed_recovery:
+        deployment.add_defense(
+            adaptive=args.adaptive,
+            period=max(2.0, args.seconds / 2),
+            downtime=0.5,
+        )
     if args.print_schedule:
         print(schedule.describe())
     flows = global_cloud.EVALUATION_FLOWS[: args.flows]
     for source, dest in flows:
         deployment.add_flow(source, dest, rate_fraction=0.2)
     counts = ", ".join(f"{k}={v}" for k, v in schedule.counts().items() if v)
-    print(f"chaos soak: seed={args.seed} {args.seconds:.0f} s, "
-          f"{len(schedule)} faults ({counts or 'none'})")
+    recovery_note = (
+        " + adaptive defense" if args.adaptive
+        else " + fixed recovery" if args.fixed_recovery else ""
+    )
+    print(f"chaos soak: seed={args.seed} {args.seconds:.0f} s preset={preset}, "
+          f"{len(schedule)} faults ({counts or 'none'}){recovery_note}")
     deployment.run(args.seconds + 10.0)  # settle time after the last fault
     window = (0.0, args.seconds)
     for source, dest in flows:
@@ -161,6 +178,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     reinstatements = deployment.network.stats.counter("link_reinstatements").value
     print(f"self-healing: {quarantines} quarantine(s), "
           f"{reinstatements} reinstatement(s)")
+    if deployment.defense is not None:
+        deployment.defense.stop()
+        summary = deployment.defense.summary()
+        mode = "adaptive" if summary["adaptive"] else "fixed"
+        print(f"defense ({mode}): {summary['recoveries_completed']} "
+              f"recoveries, {summary['total_downtime_seconds']:.1f} s downtime, "
+              f"{summary['deferrals']} deferred, {summary['advances']} advanced, "
+              f"{summary['escalations']} escalated, "
+              f"{summary['tightenings']} tightened; "
+              f"peak concurrent down {summary['budget']['peak_down']}"
+              f"/{summary['budget']['max_down']}")
+        suspects = ", ".join(summary["suspects"]) or "none"
+        print(f"defense suspects at end: {suspects}")
     print(monitor.report())
     return 0 if monitor.ok else 1
 
@@ -244,6 +274,25 @@ def cmd_live(args: argparse.Namespace) -> int:
         method = DisseminationMethod.flooding()
     else:
         method = DisseminationMethod.k_paths(args.k)
+    recovery = ("adaptive" if args.adaptive
+                else "fixed" if args.fixed_recovery else None)
+    overlay = OverlayConfig()
+    if recovery is not None:
+        import dataclasses
+
+        # Wall-clock runs last seconds, not the sim's minutes: compress
+        # the rotation cadence and control loop to fit the duration.
+        overlay = dataclasses.replace(
+            overlay,
+            defense=dataclasses.replace(
+                overlay.defense,
+                recovery_period=max(2.0, args.duration / 2),
+                recovery_downtime=0.25,
+                belief_half_life=max(2.0, args.duration / 4),
+                action_cooldown=1.0,
+                control_interval=0.25,
+            ),
+        )
     config = LiveConfig(
         nodes=args.nodes,
         duration=args.duration,
@@ -251,10 +300,14 @@ def cmd_live(args: argparse.Namespace) -> int:
         method=method,
         rate_msgs_per_sec=args.rate,
         size_bytes=args.size,
+        overlay=overlay,
         chaos_preset=args.chaos,
         chaos_intensity=args.chaos_intensity,
+        recovery=recovery,
     )
     chaos_note = f", chaos={args.chaos}" if args.chaos else ""
+    if recovery is not None:
+        chaos_note += f", recovery={recovery}"
     print(f"live overlay: {args.nodes} nodes on 127.0.0.1 (UDP), "
           f"{args.duration:.0f} s wall clock, method={args.method}, "
           f"seed={args.seed}{chaos_note}")
@@ -296,6 +349,14 @@ def cmd_live(args: argparse.Namespace) -> int:
     if report.invariants is not None:
         print(f"invariants: {report.invariants['violations']} violation(s) "
               f"over {report.invariants['deliveries_checked']} deliveries")
+    if report.adaptive is not None:
+        summary = report.adaptive
+        mode = "adaptive" if summary["adaptive"] else "fixed"
+        print(f"defense ({mode}): {summary['recoveries_completed']} "
+              f"recoveries, {summary['total_downtime_seconds']:.2f} s downtime, "
+              f"{summary['deferrals']} deferred, {summary['advances']} advanced, "
+              f"{summary['escalations']} escalated; peak concurrent down "
+              f"{summary['budget']['peak_down']}/{summary['budget']['max_down']}")
     if report.runtime_errors:
         for message in report.runtime_errors:
             print(f"runtime error: {message}")
@@ -390,8 +451,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--intensity", type=float, default=1.0)
     chaos.add_argument("--flows", type=int, default=3, choices=range(1, 6))
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--preset", choices=["link", "full", "soak"],
+                       default=None,
+                       help="ChaosSpec preset (default: full; link faults "
+                            "only with --link-level)")
     chaos.add_argument("--link-level", action="store_true",
-                       help="link faults only (no crashes/partitions)")
+                       help="link faults only (back-compat for "
+                            "--preset link)")
+    chaos.add_argument("--adaptive", action="store_true",
+                       help="arm the feedback-controlled defense "
+                            "(belief-driven recovery + quarantine)")
+    chaos.add_argument("--fixed-recovery", action="store_true",
+                       help="arm the fixed-rotation recovery baseline "
+                            "(same actuation, open loop)")
     chaos.add_argument("--print-schedule", action="store_true",
                        help="print the generated fault schedule")
     chaos.set_defaults(func=cmd_chaos)
@@ -440,6 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "sockets with this ChaosSpec preset")
     live.add_argument("--chaos-intensity", type=float, default=1.0,
                       help="scale factor on the chaos preset's fault rates")
+    live.add_argument("--adaptive", action="store_true",
+                      help="arm the feedback-controlled defense (adaptive "
+                           "proactive recovery + quarantine, cadence "
+                           "compressed to the run duration)")
+    live.add_argument("--fixed-recovery", action="store_true",
+                      help="arm the fixed-rotation recovery baseline")
     live.add_argument("--output", default=None,
                       help="also write the JSON report to a file")
     live.add_argument("--min-delivery", type=float, default=0.0,

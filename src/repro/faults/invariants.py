@@ -80,6 +80,13 @@ class InvariantMonitor:
         self.network = network
         self.check_interval = check_interval
         self.violations: List[Violation] = []
+        #: Violation counts attributed to the node(s) involved — the
+        #: adaptive defense folds these into its compromise beliefs.
+        self.violations_by_node: Dict[object, int] = {}
+        #: An armed :class:`~repro.resilience.adaptive.AdaptiveDefense`,
+        #: if one registered itself; its global downtime budget is then
+        #: checked as an invariant every sweep.
+        self.defense = None
         self.deliveries_checked = 0
         self.routing_checks = 0
         # Per-destination set of delivered uids (reset on dest crash).
@@ -121,6 +128,12 @@ class InvariantMonitor:
         self.network.recover = recover  # type: ignore[method-assign]
         self.network.sim.schedule(self.check_interval, self._periodic)
 
+    def attach_defense(self, defense) -> None:
+        """Register an adaptive defense controller: every periodic sweep
+        then asserts its simultaneous-downtime budget as an invariant
+        (``defense-budget``)."""
+        self.defense = defense
+
     def arm_fairness(
         self,
         source,
@@ -149,6 +162,7 @@ class InvariantMonitor:
             self._record(
                 now, "no-duplicate-delivery",
                 f"{message!r} delivered twice at {dest!r}",
+                nodes=(message.source, dest),
             )
         seen.add(message.uid)
         if message.semantics is Semantics.RELIABLE:
@@ -159,6 +173,7 @@ class InvariantMonitor:
                     now, "per-flow-ordering",
                     f"flow {message.flow} delivered seq {message.seq} "
                     f"after seq {last} at {dest!r}",
+                    nodes=(message.source, dest),
                 )
             flows[message.flow] = max(last, message.seq)
         for probe in self._fairness:
@@ -211,7 +226,17 @@ class InvariantMonitor:
                         now, "no-routing-via-quarantined",
                         f"{node.node_id!r} routes via quarantined link "
                         f"to {neighbor!r}",
+                        nodes=(node.node_id,),
                     )
+        if self.defense is not None:
+            concurrent = self.defense.concurrent_down()
+            limit = self.defense.budget.max_down
+            if concurrent > limit:
+                self._record(
+                    now, "defense-budget",
+                    f"defense holds {concurrent} nodes down "
+                    f"(budget {limit})",
+                )
         for probe in self._fairness:
             if now < probe.quiet_until:
                 continue
@@ -227,11 +252,18 @@ class InvariantMonitor:
                     now, "priority-fairness-floor",
                     f"flow {probe.source!r}->{probe.dest!r} at "
                     f"{rate:.0f} bps < floor {probe.min_bps:.0f} bps",
+                    nodes=(probe.source, probe.dest),
                 )
         self.network.sim.schedule(self.check_interval, self._periodic)
 
     # ------------------------------------------------------------------
-    def _record(self, now: float, invariant: str, detail: str) -> None:
+    def _record(
+        self, now: float, invariant: str, detail: str, nodes: Tuple = ()
+    ) -> None:
+        for node_id in set(nodes):
+            self.violations_by_node[node_id] = (
+                self.violations_by_node.get(node_id, 0) + 1
+            )
         if len(self.violations) < MAX_VIOLATIONS:
             self.violations.append(Violation(now, invariant, detail))
 
@@ -253,6 +285,12 @@ class InvariantMonitor:
         return {
             "violations": len(self.violations),
             "by_invariant": counts,
+            "by_node": {
+                str(n): c
+                for n, c in sorted(
+                    self.violations_by_node.items(), key=lambda kv: str(kv[0])
+                )
+            },
             "deliveries_checked": self.deliveries_checked,
             "routing_checks": self.routing_checks,
         }

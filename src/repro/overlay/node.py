@@ -99,12 +99,19 @@ class LinkSender:
         self.probation_since: Optional[float] = None
         self.probe_interval: float = node.config.probe_backoff_initial
         self._probe_event: Optional[CancellableHandle] = None
+        # Adaptive-defense vigilance: the feedback controller shrinks the
+        # hello timeout toward a suspect neighbor (scale < 1) and
+        # stretches its reinstatement probation (scale > 1).
+        self.timeout_scale: float = 1.0
+        self.probation_scale: float = 1.0
         # Observability.
         self.data_transmissions = 0
         self.control_transmissions = 0
         self.probes_sent = 0
         self.quarantine_count = 0
         self.reinstatements = 0
+        self.probation_failures = 0
+        self.invalid_rx = 0
         # Counter handles resolved once; pump() pays integer adds only.
         self._data_tx_counter = node.stats.counter("data_transmissions")
 
@@ -538,8 +545,7 @@ class OverlayNode:
             if self.cpu.enabled:
                 self.cpu.verify(self._handle_data, payload, neighbor)
             elif not payload.verify(self.pki):
-                self.invalid_messages_rejected += 1
-                self.stats.counter("invalid_signatures").add()
+                self._note_invalid(neighbor)
             elif payload.semantics is Semantics.PRIORITY:
                 self.priority.handle(payload, neighbor)
             else:
@@ -561,12 +567,20 @@ class OverlayNode:
         else:
             handler(*args)
 
+    def _note_invalid(self, neighbor: NodeId) -> None:
+        """Count an invalid signature, attributed to the delivering link
+        (the adaptive defense folds per-neighbor counts into beliefs)."""
+        self.invalid_messages_rejected += 1
+        self.stats.counter("invalid_signatures").add()
+        link = self.links.get(neighbor)
+        if link is not None:
+            link.invalid_rx += 1
+
     def _handle_data(self, message: Message, neighbor: NodeId) -> None:
         if self.crashed:
             return
         if not message.verify(self.pki):
-            self.invalid_messages_rejected += 1
-            self.stats.counter("invalid_signatures").add()
+            self._note_invalid(neighbor)
             return
         if message.semantics is Semantics.PRIORITY:
             self.priority.handle(message, neighbor)
@@ -648,16 +662,23 @@ class OverlayNode:
         for neighbor, link in self.links.items():
             if not self.mtmw.are_neighbors(self.node_id, neighbor):
                 continue  # administratively removed from the topology
-            alive = (now - link.last_heard) <= self.config.hello_timeout
+            alive = (
+                now - link.last_heard
+                <= self.config.hello_timeout * link.timeout_scale
+            )
             if link.monitor_up:
                 if not alive:
                     self._quarantine_link(neighbor, link)
             elif not alive:
                 # Went silent again during probation; restart the clock.
+                if link.probation_since is not None:
+                    link.probation_failures += 1
+                    self.stats.counter("link_probation_failures").add()
                 link.probation_since = None
             elif (
                 link.probation_since is not None
-                and now - link.probation_since >= self.config.quarantine_probation
+                and now - link.probation_since
+                >= self.config.quarantine_probation * link.probation_scale
             ):
                 self._reinstate_link(neighbor, link)
 
@@ -675,9 +696,14 @@ class OverlayNode:
     def _reinstate_link(self, neighbor: NodeId, link: LinkSender) -> None:
         """Probation passed: restore the link's weight and resume service."""
         if link.quarantined_at is not None:
-            self.stats.series("link-quarantine-seconds").record(
-                self.sim.now, self.sim.now - link.quarantined_at
+            dwell = self.sim.now - link.quarantined_at
+            self.stats.series("link-quarantine-seconds").record(self.sim.now, dwell)
+            # Per-neighbor dwell series + aggregate gauge: `repro stats`
+            # reports quarantine downtime budgets from these.
+            self.stats.series(f"quarantine-dwell:{neighbor}").record(
+                self.sim.now, dwell
             )
+            self.stats.metrics.gauge("quarantine.dwell_seconds_total").add(dwell)
         link.monitor_up = True
         link.quarantined_at = None
         link.probation_since = None
@@ -724,6 +750,22 @@ class OverlayNode:
         return [
             neighbor for neighbor, link in self.links.items() if not link.monitor_up
         ]
+
+    def set_link_vigilance(
+        self,
+        neighbor: NodeId,
+        timeout_scale: float = 1.0,
+        probation_scale: float = 1.0,
+    ) -> None:
+        """Adaptive-defense hook: scale liveness thresholds toward one
+        neighbor.  ``timeout_scale < 1`` quarantines a silent link
+        faster; ``probation_scale > 1`` makes it earn reinstatement for
+        longer.  ``(1.0, 1.0)`` restores the configured thresholds."""
+        link = self.links.get(neighbor)
+        if link is None:
+            return
+        link.timeout_scale = timeout_scale
+        link.probation_scale = probation_scale
 
     def _issue_link_update(self, neighbor: NodeId, weight: float) -> None:
         self._ls_seqno += 1

@@ -14,9 +14,19 @@ The overlay's channels ride on an *underlay* of multiple ISP networks:
   (Newell et al., DSN'13) maximizing connectivity when one variant is
   compromised;
 * :mod:`repro.resilience.recovery` — proactive recovery: periodically
-  restore each node from a clean state with a fresh variant.
+  restore each node from a clean state with a fresh variant;
+* :mod:`repro.resilience.adaptive` — feedback-controlled defense:
+  telemetry-driven compromise beliefs steering recovery timing and
+  quarantine vigilance under a global downtime budget.
 """
 
+from repro.resilience.adaptive import (
+    AdaptiveDefense,
+    BeliefEstimator,
+    GlobalBudget,
+    LiveRecoveryActuator,
+    SimRecoveryActuator,
+)
 from repro.resilience.bgp import BgpHijack
 from repro.resilience.ddos import RotatingLinkAttack
 from repro.resilience.recovery import ProactiveRecovery
@@ -31,6 +41,11 @@ __all__ = [
     "BgpHijack",
     "RotatingLinkAttack",
     "ProactiveRecovery",
+    "AdaptiveDefense",
+    "BeliefEstimator",
+    "GlobalBudget",
+    "SimRecoveryActuator",
+    "LiveRecoveryActuator",
     "assign_variants",
     "connectivity_under_variant_failure",
 ]

@@ -30,11 +30,16 @@ class ProactiveRecovery:
     def __init__(
         self,
         network: OverlayNetwork,
-        period: float,
-        downtime: float,
+        period: Optional[float] = None,
+        downtime: Optional[float] = None,
         variant_pool: Optional[VariantPool] = None,
         initial_variants: Optional[Dict[NodeId, int]] = None,
     ):
+        # The rotation cadence defaults to the deployment's typed
+        # defense block; explicit arguments override per experiment.
+        defense = network.config.defense
+        period = defense.recovery_period if period is None else period
+        downtime = defense.recovery_downtime if downtime is None else downtime
         if downtime <= 0 or period <= 0:
             raise ConfigurationError("period and downtime must be positive")
         nodes = len(network.nodes)
@@ -58,6 +63,7 @@ class ProactiveRecovery:
         self._running = False
         self._next_event = None
         self._restore_events: Dict[NodeId, object] = {}
+        self._down_at: Dict[NodeId, float] = {}
 
     def start(self) -> None:
         """Begin the staggered recovery schedule."""
@@ -92,6 +98,7 @@ class ProactiveRecovery:
         node = self.network.node(node_id)
         if not isinstance(node.behavior, HonestBehavior):
             self.compromises_cleaned += 1
+        self._down_at[node_id] = self.network.sim.now
         self.network.crash(node_id)
         self._restore_events[node_id] = self.network.sim.schedule(
             self.downtime, self._restore, node_id
@@ -109,3 +116,20 @@ class ProactiveRecovery:
         node.behavior = HonestBehavior()
         self.network.recover(node_id)
         self.recoveries_completed += 1
+        record_recovery_downtime(
+            self.network.stats, node_id, self._down_at.pop(node_id, None),
+            self.network.sim.now,
+        )
+
+
+def record_recovery_downtime(stats, node_id, down_at, now) -> None:
+    """Record one completed reinstall's downtime: a per-node series
+    (``recovery-downtime:<node>``) plus the aggregate gauge and counter
+    that ``repro stats`` reports downtime budgets from.  Shared by the
+    fixed rotation above and the adaptive controller."""
+    if down_at is None:
+        return
+    downtime = now - down_at
+    stats.series(f"recovery-downtime:{node_id}").record(now, downtime)
+    stats.metrics.gauge("recovery.downtime_seconds_total").add(downtime)
+    stats.counter("recovery.completed").add()

@@ -94,6 +94,12 @@ class LiveConfig:
     chaos_intensity: float = 1.0
     #: Restart policy for the always-on node supervisor.
     supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
+    #: Proactive-recovery mode: ``None`` (no rotation), ``"fixed"``
+    #: (staggered schedule through the defense engine's baseline path),
+    #: or ``"adaptive"`` (belief-driven feedback controller).  The
+    #: cadence comes from ``overlay.defense`` (recovery_period /
+    #: recovery_downtime).
+    recovery: Optional[str] = None
     #: Arm the sim's InvariantMonitor (dedup / ordering / quarantine
     #: routing) against the live deployment.
     monitor_invariants: bool = True
@@ -121,6 +127,11 @@ class LiveConfig:
             )
         if self.chaos_intensity <= 0:
             raise ConfigurationError("chaos_intensity must be positive")
+        if self.recovery not in (None, "fixed", "adaptive"):
+            raise ConfigurationError(
+                f"recovery must be None, 'fixed', or 'adaptive' "
+                f"(got {self.recovery!r})"
+            )
         if self.invariant_check_interval <= 0:
             raise ConfigurationError("invariant_check_interval must be positive")
 
@@ -195,6 +206,8 @@ class LiveReport:
     chaos: Optional[Dict[str, Any]] = None
     supervision: Optional[Dict[str, Any]] = None
     invariants: Optional[Dict[str, Any]] = None
+    #: Adaptive-defense summary; None when no defense controller ran.
+    adaptive: Optional[Dict[str, Any]] = None
     #: Set when a node-attributed runtime failure occurred (a raising
     #: receive handler, an unhandled loop exception): the run's results
     #: are suspect even if delivery looks fine.
@@ -294,6 +307,7 @@ class LiveReport:
             "chaos": self.chaos,
             "supervision": self.supervision,
             "invariants": self.invariants,
+            "adaptive": self.adaptive,
             "failed": self.failed,
             "ok": self.ok,
         }
@@ -366,6 +380,7 @@ class LiveDeployment:
         self.injector: Optional[DatagramFaultInjector] = None
         self.chaos_engine: Optional[LiveChaosEngine] = None
         self.chaos_schedule: Optional[FaultSchedule] = None
+        self.defense: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Duck-type parity with OverlayNetwork / Deployment
@@ -521,9 +536,54 @@ class LiveDeployment:
                 self, self.chaos_schedule, self.injector, self.supervisor
             )
             self.chaos_engine.arm()
+        if config.recovery is not None:
+            # The feedback-controlled defense runs the proactive-recovery
+            # rotation on the live substrate too: beliefs come from the
+            # same per-node instruments the sim reads, plus live-only
+            # transport drop and unexpected-restart counters.
+            from repro.resilience.adaptive import (
+                AdaptiveDefense,
+                LiveRecoveryActuator,
+            )
+
+            self.defense = AdaptiveDefense(
+                self,
+                LiveRecoveryActuator(self),
+                config=config.overlay.defense,
+                adaptive=(config.recovery == "adaptive"),
+                monitor=self.monitor,
+                extra_signals=self._defense_signals,
+            )
+            self.defense.start()
 
         self._started_at = loop.time()
         self._start_traffic()
+
+    def _defense_signals(self, node_id: NodeId) -> Dict[str, float]:
+        """Live-only belief signals for one node: transport-level drops
+        at its socket, and supervisor kills it did not initiate itself
+        (crash faults, watchdog-detected socket deaths)."""
+        process = self.processes[node_id]
+        transport = process.transport
+        signals: Dict[str, float] = {
+            "transport.drop": float(
+                transport.decode_errors
+                + transport.misdirected
+                + transport.unknown_sender
+            ),
+        }
+        if self.supervisor is not None:
+            record = self.supervisor.records.get(node_id)
+            if record is not None:
+                proactive = (
+                    self.defense.proactive_downs(node_id)
+                    if self.defense is not None
+                    else 0
+                )
+                signals["supervisor.restart"] = float(
+                    max(0, record.kills - proactive)
+                )
+        return signals
 
     def _resolve_chaos(self) -> Optional[FaultSchedule]:
         """The run's fault schedule: explicit, from a preset, or none."""
@@ -605,6 +665,8 @@ class LiveDeployment:
         self._stopped = True
         for generator in self.traffic:
             generator.stop()
+        if self.defense is not None:
+            self.defense.stop()
         if self.supervisor is not None:
             self.supervisor.stop()
         if self.scheduler is not None:
@@ -733,6 +795,9 @@ class LiveDeployment:
             ),
             invariants=(
                 self.monitor.summary() if self.monitor is not None else None
+            ),
+            adaptive=(
+                self.defense.summary() if self.defense is not None else None
             ),
             failed=self._failed,
         )

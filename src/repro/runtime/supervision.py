@@ -126,7 +126,11 @@ class NodeSupervisor:
         self.config = config or SupervisionConfig()
         self.records: Dict[Any, NodeRecord] = {}
         self.events: List[tuple] = []  # (time, text) observability log
-        self._rng = deployment.sim.rngs.stream("supervision")
+        # One seeded jitter stream *per node*: with a single shared
+        # stream the jitter a node receives depended on the wall-clock
+        # interleaving of other nodes' kills, so same-seed soak runs
+        # were not reproducible across retries.
+        self._rngs: Dict[Any, Any] = {}
         self._task: Optional[asyncio.Task] = None
         self._armed = False
 
@@ -171,7 +175,7 @@ class NodeSupervisor:
         record.held = hold
         record.down_since = now
         record.last_reason = reason
-        backoff = self._next_backoff(record)
+        backoff = self._next_backoff(node_id, record)
         record.backoffs.append(backoff)
         record.next_restart_at = now + backoff
         process = self.deployment.processes[node_id]
@@ -240,7 +244,7 @@ class NodeSupervisor:
             self.deployment.recover(node_id)
         except Exception as exc:
             record.consecutive_failures += 1
-            backoff = self._next_backoff(record)
+            backoff = self._next_backoff(node_id, record)
             record.backoffs.append(backoff)
             record.next_restart_at = self.deployment.sim.now + backoff
             process.stats.counter("supervisor.restart_failures").add()
@@ -260,14 +264,22 @@ class NodeSupervisor:
     # ------------------------------------------------------------------
     # Policy
     # ------------------------------------------------------------------
-    def _next_backoff(self, record: NodeRecord) -> float:
-        """Exponential in the node's attempt count, jittered, capped."""
+    def _next_backoff(self, node_id: Any, record: NodeRecord) -> float:
+        """Exponential in the node's attempt count, jittered, capped.
+        Jitter draws come from the node's own seeded substream, so a
+        node's backoff sequence is a pure function of the run seed and
+        its own kill count — independent of when other nodes die."""
         attempt = record.restarts + record.consecutive_failures
         base = min(
             self.config.backoff_initial * self.config.backoff_factor ** attempt,
             self.config.backoff_max,
         )
-        jitter = 1.0 + self.config.backoff_jitter * (2.0 * self._rng.random() - 1.0)
+        rng = self._rngs.get(node_id)
+        if rng is None:
+            rng = self._rngs[node_id] = self.deployment.sim.rngs.stream(
+                f"supervision:{node_id}"
+            )
+        jitter = 1.0 + self.config.backoff_jitter * (2.0 * rng.random() - 1.0)
         return base * jitter
 
     # ------------------------------------------------------------------

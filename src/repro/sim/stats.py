@@ -258,6 +258,16 @@ class StatsRegistry:
             self._series[name] = ts
         return ts
 
+    def series_by_prefix(self, prefix: str) -> Dict[str, TimeSeries]:
+        """All existing series whose name starts with ``prefix``, sorted
+        by name; never creates (reporting over per-node series families
+        like ``recovery-downtime:*``)."""
+        return {
+            name: ts
+            for name, ts in sorted(self._series.items())
+            if name.startswith(prefix)
+        }
+
     def counters(self) -> Dict[str, int]:
         """Snapshot of all counter values."""
         return self.metrics.counter_values()

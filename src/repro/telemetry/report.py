@@ -67,7 +67,11 @@ def build_report(
             for source, dest in flows
         ],
         "dissemination_cost": deployment.dissemination_cost(),
+        "downtime": _downtime_section(network.stats),
     }
+    defense = getattr(deployment, "defense", None)
+    if defense is not None:
+        report["defense"] = defense.summary()
     if include_trace:
         trace = network.stats.metrics.trace
         report["trace"] = {
@@ -103,6 +107,34 @@ def _flow_entry(
                 for p in FLOW_PERCENTILES
             },
         },
+    }
+
+
+def _downtime_section(stats: Any) -> Dict[str, Any]:
+    """Per-node recovery downtime and quarantine dwell totals, from the
+    ``recovery-downtime:*`` / ``quarantine-dwell:*`` series the recovery
+    engines and link monitors record."""
+
+    def family(prefix: str) -> Dict[str, Dict[str, float]]:
+        return {
+            name.split(":", 1)[1]: {
+                "events": len(ts),
+                "total_seconds": sum(ts.values()),
+            }
+            for name, ts in stats.series_by_prefix(prefix).items()
+        }
+
+    recovery = family("recovery-downtime:")
+    dwell = family("quarantine-dwell:")
+    return {
+        "recovery_downtime": recovery,
+        "recovery_downtime_total_seconds": sum(
+            entry["total_seconds"] for entry in recovery.values()
+        ),
+        "quarantine_dwell": dwell,
+        "quarantine_dwell_total_seconds": sum(
+            entry["total_seconds"] for entry in dwell.values()
+        ),
     }
 
 

@@ -25,6 +25,7 @@ from repro.faults.schedule import ChaosSpec, FaultSchedule
 from repro.messaging.message import Semantics
 from repro.overlay.config import DisseminationMethod, OverlayConfig
 from repro.overlay.network import OverlayNetwork
+from repro.resilience.adaptive import AdaptiveDefense, SimRecoveryActuator
 from repro.topology import global_cloud
 from repro.topology.graph import NodeId, Topology
 from repro.workloads.traffic import CbrTraffic
@@ -74,6 +75,7 @@ class Deployment:
         self.attacks: List[SaturationFlow] = []
         self.chaos: Optional[ChaosEngine] = None
         self.monitor: Optional[InvariantMonitor] = None
+        self.defense: Optional[AdaptiveDefense] = None
 
     # ------------------------------------------------------------------
     @property
@@ -161,6 +163,33 @@ class Deployment:
             self.monitor = InvariantMonitor(self.network)
             self.monitor.arm()
         return schedule
+
+    # ------------------------------------------------------------------
+    # Defense
+    # ------------------------------------------------------------------
+    def add_defense(
+        self,
+        adaptive: bool = True,
+        config=None,
+        period: Optional[float] = None,
+        downtime: Optional[float] = None,
+    ) -> AdaptiveDefense:
+        """Arm the feedback-controlled defense (or, with
+        ``adaptive=False``, its fixed-rotation baseline with identical
+        downtime accounting).  Call after :meth:`add_chaos` so the
+        controller folds the armed monitor's violations into its
+        beliefs."""
+        self.defense = AdaptiveDefense(
+            self.network,
+            SimRecoveryActuator(self.network),
+            config=config,
+            adaptive=adaptive,
+            monitor=self.monitor,
+            period=period,
+            downtime=downtime,
+        )
+        self.defense.start()
+        return self.defense
 
     # ------------------------------------------------------------------
     # Measurement
