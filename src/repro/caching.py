@@ -15,7 +15,8 @@ across seeded runs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generic, Hashable, Optional, TypeVar
+from collections import OrderedDict
+from typing import Any, Generic, Hashable, Optional, TypeVar
 
 V = TypeVar("V")
 
@@ -36,7 +37,12 @@ class LruCache(Generic[V]):
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive (got {maxsize})")
         self.maxsize = maxsize
-        self._data: Dict[Hashable, V] = {}
+        # OrderedDict rather than a plain dict: eviction needs the oldest
+        # entry in O(1).  A plain dict's ``next(iter(data))`` degrades
+        # linearly with deleted-slot debris once the cache churns at
+        # capacity (measured at several microseconds per eviction on a
+        # saturated verification memo); ``popitem(last=False)`` does not.
+        self._data: "OrderedDict[Hashable, V]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -44,22 +50,21 @@ class LruCache(Generic[V]):
     def get(self, key: Hashable, default: Optional[V] = None) -> Optional[V]:
         """Return the cached value (refreshing recency) or ``default``."""
         data = self._data
-        value = data.pop(key, _MISSING)
+        value = data.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
             return default
-        data[key] = value  # re-insert: newest position
+        data.move_to_end(key)
         self.hits += 1
         return value  # type: ignore[return-value]
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert ``key`` as the most recent entry, evicting if full."""
         data = self._data
-        data.pop(key, None)
         data[key] = value
+        data.move_to_end(key)
         if len(data) > self.maxsize:
-            oldest = next(iter(data))
-            del data[oldest]
+            data.popitem(last=False)
             self.evictions += 1
 
     def clear(self) -> None:

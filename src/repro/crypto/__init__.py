@@ -20,7 +20,7 @@ Python standard library (``hashlib``/``hmac``/``secrets`` only):
 """
 
 from repro.crypto.dh import DiffieHellman
-from repro.crypto.mac import hmac_sha256, verify_hmac
+from repro.crypto.mac import BatchMacContext, hmac_sha256, verify_hmac
 from repro.crypto.nonces import CumulativeNonceChain, NonceVerifier
 from repro.crypto.pki import Identity, Pki
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
@@ -31,6 +31,7 @@ __all__ = [
     "RsaPublicKey",
     "generate_keypair",
     "DiffieHellman",
+    "BatchMacContext",
     "hmac_sha256",
     "verify_hmac",
     "CumulativeNonceChain",

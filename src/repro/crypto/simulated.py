@@ -100,16 +100,22 @@ class SimulatedVerifier:
         secret = self._secrets.get(signer)
         if secret is None:
             return False
+        # Memo key: (signer, tag) — cheap to hash — with the full fields
+        # tuple stored in the entry and compared on hit.  Keying by the
+        # fields themselves would hash the nested tuple once for the
+        # lookup and again for the insert, tripling the deep-hash work of
+        # a cold verification; the equality check on hit keeps verdicts
+        # exact (a replayed tag with different fields never matches).
         memo = self._memo
+        key = (signer, signature.tag)
+        entry = memo.get(key, _MISS)
+        if entry is not _MISS and entry[0] == fields:
+            return entry[1]  # type: ignore[return-value]
         try:
-            key = (signer, fields, signature.tag)
-            cached = memo.get(key, _MISS)
-        except TypeError:  # unhashable field value: just verify directly
-            return signature.tag == hash((secret, fields))
-        if cached is not _MISS:
-            return cached  # type: ignore[return-value]
-        verdict = signature.tag == hash((secret, fields))
-        memo.put(key, verdict)
+            verdict = signature.tag == hash((secret, fields))
+        except TypeError:  # unhashable field value: nothing to memoize
+            return False
+        memo.put(key, (fields, verdict))
         return verdict
 
     def verify_mac(self, identity: Any, fields: Tuple[Any, ...], tag: int) -> bool:

@@ -20,10 +20,13 @@ Paths = Sequence[Tuple[NodeId, ...]]
 #: Successor-scan memo.  Every message of a flow carries the *same* path
 #: tuple (the route cache hands out shared objects), so the scan result
 #: for a (node, paths, arrival) triple repeats for the flow's lifetime.
-#: The memo is a pure function of its key — node position within signed
-#: immutable paths — so it never needs invalidation, only bounding.
+#: Entries are keyed by (node, id(paths), arrival) and store the paths
+#: object itself — see path_successors for why identity keying is both
+#: safe and much cheaper than hashing the nested tuple per decision.
+#: The memo is a pure function of node position within signed immutable
+#: paths, so it never needs invalidation, only bounding.
 _SUCCESSOR_CACHE_SIZE = 4096
-_successor_cache: LruCache[Tuple[List[NodeId], int]] = LruCache(_SUCCESSOR_CACHE_SIZE)
+_successor_cache: LruCache[Tuple[Any, List[NodeId], int]] = LruCache(_SUCCESSOR_CACHE_SIZE)
 
 _MISS = object()
 
@@ -65,14 +68,22 @@ def path_successors(
     counted per *call*, cache hit or not, so memoization never changes
     the recorded dissemination counters.
     """
-    try:
-        key = (node_id, paths if isinstance(paths, tuple) else None, from_neighbor)
-        cached = _successor_cache.get(key, _MISS) if key[1] is not None else _MISS
-    except TypeError:  # unhashable path contents: skip the memo
-        key = (node_id, None, from_neighbor)
-        cached = _MISS
-    if cached is not _MISS:
-        successors, violations = cached  # type: ignore[misc]
+    # Memo key: the *identity* of the shared paths tuple, not its value.
+    # Hashing the nested tuple on every forwarding decision costs more
+    # than the scan it memoizes; the route cache hands out shared tuple
+    # objects, so identity hits whenever value would.  The cached entry
+    # pins the paths object, which keeps its id stable and makes an id
+    # collision with a different live tuple impossible; the identity
+    # check on hit guards against a stale entry whose pin was evicted.
+    # Mutable (non-tuple) paths skip the memo: their contents can change
+    # under a pinned entry.
+    cacheable = type(paths) is tuple
+    cached = _MISS
+    if cacheable:
+        key = (node_id, id(paths), from_neighbor)
+        cached = _successor_cache.get(key, _MISS)
+    if cached is not _MISS and cached[0] is paths:
+        successors, violations = cached[1], cached[2]
     else:
         successors = []
         violations = 0
@@ -88,8 +99,8 @@ def path_successors(
                     continue
                 if i + 1 < len(path):
                     successors.append(path[i + 1])
-        if key[1] is not None:
-            _successor_cache.put(key, (successors, violations))
+        if cacheable:
+            _successor_cache.put(key, (paths, successors, violations))
     if metrics is not None:
         calls, succ, viol = _kpaths_counters(metrics)
         calls.add()

@@ -40,7 +40,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 from repro.caching import LruCache
 from repro.crypto.dh import DiffieHellman
 from repro.crypto.encoding import canonical_bytes
-from repro.crypto.mac import hmac_sha256, verify_hmac
+from repro.crypto.mac import BatchMacContext
 from repro.crypto.nonces import NONCE_SIZE, CumulativeNonceChain, NonceVerifier
 from repro.crypto.pki import Pki, PkiMode
 from repro.errors import ConfigurationError, ProtocolError
@@ -76,6 +76,17 @@ class PorConfig:
     check_macs:
         Drop packets whose integrity check fails.  Disabled only for the
         "no cryptography" row of Table II.
+    ack_coalesce:
+        Acknowledge after this many in-order packets instead of per
+        packet (a delayed-ACK factor).  Gaps, duplicates, and epoch
+        changes still ACK immediately — the NACK and fast-retransmit
+        machinery never waits — and a flush timer (``ack_delay``) bounds
+        how long the tail of a burst goes unacknowledged.  1 restores
+        ACK-per-packet.
+    ack_delay:
+        Upper bound (seconds) on how long a coalesced ACK may be
+        deferred.  Kept far below ``initial_rto`` so delayed ACKs can
+        never masquerade as loss.
     """
 
     window: int = 128
@@ -86,6 +97,8 @@ class PorConfig:
     header_overhead: int = 48
     ack_size: int = 64
     check_macs: bool = True
+    ack_coalesce: int = 2
+    ack_delay: float = 0.002
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -94,6 +107,15 @@ class PorConfig:
             raise ConfigurationError("require 0 < min_rto <= initial_rto <= max_rto")
         if self.pacing_slack < 0:
             raise ConfigurationError("pacing_slack must be >= 0")
+        if self.ack_coalesce < 1:
+            raise ConfigurationError(
+                f"ack_coalesce must be >= 1 (got {self.ack_coalesce})"
+            )
+        if not 0 <= self.ack_delay < self.initial_rto:
+            raise ConfigurationError(
+                "require 0 <= ack_delay < initial_rto (delayed ACKs must not "
+                "look like loss)"
+            )
 
 
 class PorData:
@@ -172,7 +194,7 @@ class _HelloWrapper:
         self.hello = hello
 
 
-@dataclass
+@dataclass(slots=True)
 class _SendRecord:
     payload: Any
     wire_size: int
@@ -182,6 +204,12 @@ class _SendRecord:
     rto: float
     retransmitted: bool = False
     last_sent: float = 0.0
+
+
+#: Outgoing nonces are drawn from the RNG in blocks of this many packets;
+#: one wide ``getrandbits`` call replaces per-packet draws on the send
+#: fast path without changing the distribution.
+_NONCE_BLOCK = 64
 
 
 class PorEndpoint:
@@ -205,6 +233,13 @@ class PorEndpoint:
         self.pki = pki
         self.config = config or PorConfig()
         in_channel.on_receive = self._on_packet
+        # PorConfig is frozen; bind the per-packet fields once so the hot
+        # paths do plain attribute loads instead of dataclass chains.
+        self._window = self.config.window
+        self._check_macs = self.config.check_macs
+        self._ack_coalesce = self.config.ack_coalesce
+        self._ack_delay = self.config.ack_delay
+        self._header_overhead = self.config.header_overhead
 
         # Upper-layer hooks.
         self.on_deliver: Optional[Callable[[Any, int], None]] = None
@@ -214,6 +249,15 @@ class PorEndpoint:
         # Crypto state.
         self._established = False
         self._link_key: Optional[bytes] = None
+        # Cached value of the `_real_crypto` property: checked once per
+        # transmit/verify on the hot path, so the attribute load must not
+        # re-derive it from the PKI each time.  Updated wherever the link
+        # key changes (out-of-band install, handshake completion).
+        self._hmac_active = False
+        # Amortized HMAC state for the current link key: one keyed base
+        # context, cloned per packet (see BatchMacContext).  Rebuilt
+        # alongside _hmac_active wherever the key changes.
+        self._mac_ctx: Optional[BatchMacContext] = None
         # REAL-mode MAC verification memo: a retransmitted packet carries
         # the identical (encoding, tag) pair, so its recheck is a dict
         # hit instead of an HMAC.  Keyed by the complete check; cleared
@@ -232,13 +276,33 @@ class PorEndpoint:
         self._timer: Optional[CancellableHandle] = None
         self._srtt: Optional[float] = None
         self._rttvar = 0.0
+        # The RTO only changes when an RTT sample lands, so it is computed
+        # eagerly in _sample_rtt and read from this cache on every send.
+        self._rto_cache = self.config.initial_rto
         self._dup_acks = 0
         self._nonce_rng = sim.rngs.stream(f"por:{node_id}->{peer_id}")
+        # Block-buffered nonce stream (see _NONCE_BLOCK).
+        self._nonce_buf = b""
+        self._nonce_pos = 0
+        # Absolute deadline the armed retransmission timer will fire at.
+        # Lets the send path skip cancel/re-arm churn: a new packet only
+        # re-arms when its deadline is *earlier* than the pending fire
+        # (it never is under a monotone RTO), and ACKs leave the timer
+        # alone entirely — a stale fire is a cheap no-op recomputation in
+        # _on_timeout.
+        self._timer_deadline = 0.0
 
         # Receiver state.
         self._rx_epoch = 0
         self._chain = CumulativeNonceChain()
         self._reorder: Dict[int, PorData] = {}
+        # Delayed-ACK state: in-order packets accepted since the last ACK,
+        # and whether the flush timer bounding the deferral is live.  The
+        # timer is never cancelled — it fires, flushes if anything is
+        # still pending, and disarms — so coalescing adds no cancel/re-arm
+        # heap churn (one timer event can cover many flush cycles).
+        self._ack_pending = 0
+        self._ack_timer_armed = False
 
         # Counters.
         self.data_sent = 0
@@ -280,6 +344,8 @@ class PorEndpoint:
         """
         self._link_key = self.pki.link_secret(self.node_id, self.peer_id)
         self._mac_memo.clear()
+        self._hmac_active = self.pki.mode is PkiMode.REAL and self._link_key is not None
+        self._mac_ctx = BatchMacContext(self._link_key) if self._hmac_active else None
         self._established = True
 
     #: Give up re-offering the handshake after this many attempts; the
@@ -330,14 +396,14 @@ class PorEndpoint:
         """True when the link can take another payload right now."""
         return (
             self._established
-            and len(self._unacked) < self.config.window
+            and len(self._unacked) < self._window
             and self.out_channel.time_until_idle() <= self.config.pacing_slack
         )
 
     def time_until_ready(self) -> Optional[float]:
         """Seconds until pacing may allow a send; None if blocked on the
         window (an ACK will trigger ``on_ready`` instead)."""
-        if not self._established or len(self._unacked) >= self.config.window:
+        if not self._established or len(self._unacked) >= self._window:
             return None
         backlog = self.out_channel.time_until_idle()
         if backlog <= self.config.pacing_slack:
@@ -348,24 +414,37 @@ class PorEndpoint:
         """Queue ``payload`` for reliable in-order delivery to the peer."""
         if not self._established:
             raise ProtocolError("PoR link not established")
-        if len(self._unacked) >= self.config.window:
+        if len(self._unacked) >= self._window:
             raise ProtocolError("PoR send window full (check can_accept first)")
         seq = self._next_seq
         self._next_seq += 1
-        nonce = self._nonce_rng.getrandbits(8 * NONCE_SIZE).to_bytes(NONCE_SIZE, "big")
+        pos = self._nonce_pos
+        if pos >= len(self._nonce_buf):
+            self._nonce_buf = self._nonce_rng.getrandbits(
+                8 * NONCE_SIZE * _NONCE_BLOCK
+            ).to_bytes(NONCE_SIZE * _NONCE_BLOCK, "big")
+            pos = 0
+        nonce = self._nonce_buf[pos:pos + NONCE_SIZE]
+        self._nonce_pos = pos + NONCE_SIZE
         self._verifier.register(seq, nonce)
-        wire_size = size_bytes + self.config.header_overhead
-        record = _SendRecord(
-            payload=payload,
-            wire_size=wire_size,
-            nonce=nonce,
-            first_sent=self.sim.now,
-            deadline=self.sim.now + self._current_rto(),
-            rto=self._current_rto(),
-        )
+        wire_size = size_bytes + self._header_overhead
+        now = self.sim.now
+        rto = self._rto_cache
+        deadline = now + rto
+        record = _SendRecord(payload, wire_size, nonce, now, deadline, rto)
         self._unacked[seq] = record
         self._transmit(seq, record)
-        self._arm_timer()
+        # Lazy timer: only (re-)arm when this packet's deadline precedes
+        # the pending fire.  Under a monotone RTO that is only ever the
+        # first packet of a burst, so steady-state sends do zero timer
+        # work; _on_timeout re-derives the true minimum when it fires.
+        if self._timer is None:
+            self._timer_deadline = deadline
+            self._timer = self.sim.schedule_at(deadline, self._on_timeout)
+        elif deadline < self._timer_deadline:
+            self._timer.cancel()
+            self._timer_deadline = deadline
+            self._timer = self.sim.schedule_at(deadline, self._on_timeout)
 
     @property
     def in_flight(self) -> int:
@@ -373,8 +452,8 @@ class PorEndpoint:
 
     def _transmit(self, seq: int, record: _SendRecord) -> None:
         packet = PorData(self.epoch, seq, record.nonce, record.payload, record.wire_size)
-        if self._real_crypto:
-            packet.mac = hmac_sha256(self._link_key, self._encode_for_mac(packet))
+        if self._hmac_active:
+            packet.mac = self._mac_ctx.tag(self._encode_for_mac(packet))
         if self._mac_counters is not None:
             self._mac_counters[0].add()
         record.last_sent = self.sim.now
@@ -410,9 +489,14 @@ class PorEndpoint:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._timer_deadline = 0.0
         self._srtt = None
         self._rttvar = 0.0
+        self._rto_cache = self.config.initial_rto
         self._dup_acks = 0
+        # A live flush timer is left to fire; with pending zeroed it
+        # disarms without sending.
+        self._ack_pending = 0
 
     # ------------------------------------------------------------------
     # Receive path
@@ -426,17 +510,30 @@ class PorEndpoint:
         self.out_channel.send(_HelloWrapper(hello), size_bytes)
 
     def _on_packet(self, packet: Any) -> None:
+        # Dispatch in descending traffic order: data, then ACKs, then the
+        # rare out-of-stream kinds.
+        if isinstance(packet, PorData):
+            if self._check_macs and not self._integrity_ok(packet):
+                self.macs_rejected += 1
+                return
+            self._on_data(packet)
+            return
+        if isinstance(packet, PorAck):
+            if self._check_macs and not self._integrity_ok(packet):
+                self.macs_rejected += 1
+                return
+            self._on_ack(packet)
+            return
         if isinstance(packet, _HelloWrapper):
             if self.on_hello is not None:
                 self.on_hello(packet.hello)
             return
         if isinstance(packet, PorHandshake):
             self._on_handshake(packet)
-            return
-        self._process_packet(packet)
 
     def _process_packet(self, packet: Any) -> None:
-        if self.config.check_macs and not self._integrity_ok(packet):
+        """Integrity-check and dispatch a data/ACK packet (test seam)."""
+        if self._check_macs and not self._integrity_ok(packet):
             self.macs_rejected += 1
             return
         if isinstance(packet, PorAck):
@@ -449,7 +546,7 @@ class PorEndpoint:
             return False
         if self._mac_counters is not None:
             self._mac_counters[1].add()
-        if self._real_crypto:
+        if self._hmac_active:
             # Memoized per (encoding, tag) under the current link key —
             # retransmissions recheck for a dict hit, not an HMAC.
             encoded = self._encode_for_mac(packet)
@@ -459,7 +556,7 @@ class PorEndpoint:
             if cached is not None:
                 return cached
             try:
-                verify_hmac(self._link_key, encoded, packet.mac)
+                self._mac_ctx.verify(encoded, packet.mac)
                 verdict = True
             except Exception:
                 verdict = False
@@ -474,15 +571,16 @@ class PorEndpoint:
                 self._rx_epoch = packet.epoch
                 self._chain = CumulativeNonceChain()
                 self._reorder.clear()
+                self._ack_pending = 0
             else:
                 return  # stale epoch
         expected = self._chain.next_seq
         if packet.seq < expected:
             self.duplicates_dropped += 1
-            self._send_ack()  # the ACK that would have cleared it was lost
+            self._flush_ack()  # the ACK that would have cleared it was lost
             return
         if packet.seq > expected:
-            if packet.seq >= expected + 4 * self.config.window:
+            if packet.seq >= expected + 4 * self._window:
                 # A legitimate sender is bounded by its send window, so a
                 # seq this far ahead is hostile or corrupted input.  It
                 # must not enter the reorder buffer: a giant seq would
@@ -491,23 +589,51 @@ class PorEndpoint:
                 # a bit-flipped datagram slipped past integrity checks).
                 self.out_of_window_dropped += 1
                 return
-            if len(self._reorder) < 4 * self.config.window:
+            if len(self._reorder) < 4 * self._window:
                 self._reorder[packet.seq] = packet
             # Duplicate cumulative ACK: tells the sender a gap opened so
             # it can fast-retransmit instead of waiting out the RTO.
-            self._send_ack()
+            # Gaps never coalesce — the NACK must go out now.
+            self._flush_ack()
             return
         self._accept_in_order(packet)
-        while self._chain.next_seq in self._reorder:
-            self._accept_in_order(self._reorder.pop(self._chain.next_seq))
-        self._send_ack()
+        reorder = self._reorder
+        accepted = 1
+        while self._chain.next_seq in reorder:
+            self._accept_in_order(reorder.pop(self._chain.next_seq))
+            accepted += 1
+        # Delayed ACK: coalesce in-order progress up to ack_coalesce
+        # packets (bounded by the ack_delay flush timer).  Any remaining
+        # gap still ACKs immediately so the sender sees the NACK list.
+        self._ack_pending += accepted
+        if reorder or self._ack_pending >= self._ack_coalesce:
+            self._flush_ack()
+        elif not self._ack_timer_armed:
+            self._ack_timer_armed = True
+            self.sim.schedule(self._ack_delay, self._ack_timer_fire)
 
     def _accept_in_order(self, packet: PorData) -> None:
         self._chain.fold(packet.seq, packet.nonce)
         self.data_delivered += 1
         if self.on_deliver is not None:
-            payload_size = packet.wire_size - self.config.header_overhead
+            payload_size = packet.wire_size - self._header_overhead
             self.on_deliver(packet.payload, payload_size)
+
+    def _ack_timer_fire(self) -> None:
+        self._ack_timer_armed = False
+        if self._ack_pending:
+            self._flush_ack()
+
+    def _flush_ack(self) -> None:
+        """Send the cumulative ACK now, clearing any deferred-ACK state.
+
+        A live flush timer is left alone: it fires later and disarms as a
+        no-op (pending is zero), which is cheaper than cancelling it.
+        Any packet deferred while the timer is live still flushes no
+        later than the pending fire, so the ack_delay bound holds.
+        """
+        self._ack_pending = 0
+        self._send_ack()
 
     def _send_ack(self) -> None:
         missing: Tuple[int, ...] = ()
@@ -521,8 +647,8 @@ class PorEndpoint:
         ack = PorAck(
             self._rx_epoch, self._chain.next_seq - 1, self._chain.proof(), missing
         )
-        if self._real_crypto:
-            ack.mac = hmac_sha256(self._link_key, self._encode_for_mac(ack))
+        if self._hmac_active:
+            ack.mac = self._mac_ctx.tag(self._encode_for_mac(ack))
         if self._mac_counters is not None:
             self._mac_counters[0].add()
         self.out_channel.send(ack, self.config.ack_size + 4 * len(missing))
@@ -554,12 +680,16 @@ class PorEndpoint:
         # Karn's algorithm: sample RTT only from never-retransmitted packets.
         if record is not None and not record.retransmitted:
             self._sample_rtt(self.sim.now - record.first_sent)
-        had_no_room = len(self._unacked) >= self.config.window
+        had_no_room = len(self._unacked) >= self._window
         for seq in list(self._unacked):
             if seq <= ack.cum_seq:
                 del self._unacked[seq]
-        self._arm_timer()
-        if had_no_room and len(self._unacked) < self.config.window:
+        # The retransmission timer is deliberately NOT re-armed here.  The
+        # pending fire may now be early (its record was just acked), but a
+        # stale fire is a no-op scan in _on_timeout that then re-arms at
+        # the true minimum — far cheaper than cancel/min-scan/schedule on
+        # every ACK of a healthy link.
+        if had_no_room and len(self._unacked) < self._window:
             # The window reopened; wake the upper layer once pacing allows.
             delay = self.time_until_ready()
             if delay is not None and self.on_ready is not None:
@@ -580,14 +710,7 @@ class PorEndpoint:
     # Retransmission
     # ------------------------------------------------------------------
     def _current_rto(self) -> float:
-        if self._srtt is None:
-            return self.config.initial_rto
-        # A generous margin over SRTT: ACKs share the reverse channel
-        # with data and jitter by several serialization quanta under
-        # load; a tight RTO turns that jitter into spurious retransmits
-        # that can waste half the forward capacity.
-        rto = 1.5 * self._srtt + 4 * max(self._rttvar, 0.25 * self._srtt)
-        return min(max(rto, self.config.min_rto), self.config.max_rto)
+        return self._rto_cache
 
     def _sample_rtt(self, rtt: float) -> None:
         if self._srtt is None:
@@ -596,6 +719,12 @@ class PorEndpoint:
         else:
             self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
             self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        # A generous margin over SRTT: ACKs share the reverse channel
+        # with data and jitter by several serialization quanta under
+        # load; a tight RTO turns that jitter into spurious retransmits
+        # that can waste half the forward capacity.
+        rto = 1.5 * self._srtt + 4 * max(self._rttvar, 0.25 * self._srtt)
+        self._rto_cache = min(max(rto, self.config.min_rto), self.config.max_rto)
 
     def _arm_timer(self) -> None:
         if self._timer is not None:
@@ -604,7 +733,8 @@ class PorEndpoint:
         if not self._unacked:
             return
         deadline = min(record.deadline for record in self._unacked.values())
-        self._timer = self.sim.schedule_at(max(deadline, self.sim.now), self._on_timeout)
+        self._timer_deadline = max(deadline, self.sim.now)
+        self._timer = self.sim.schedule_at(self._timer_deadline, self._on_timeout)
 
     def _on_timeout(self) -> None:
         self._timer = None
@@ -641,6 +771,8 @@ class PorEndpoint:
         peer_public = int.from_bytes(msg.dh_public, "big")
         self._link_key = self._dh.compute_shared(peer_public)
         self._mac_memo.clear()
+        self._hmac_active = self.pki.mode is PkiMode.REAL and self._link_key is not None
+        self._mac_ctx = BatchMacContext(self._link_key) if self._hmac_active else None
         already_established = self._established
         self._established = True
         if self._handshake_timer is not None:

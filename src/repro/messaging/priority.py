@@ -127,7 +127,8 @@ class PriorityLinkQueue:
 
         Returns True if the message is in the queue afterwards.
         """
-        if message.is_expired(now):
+        expiration = message.expiration  # inlined Message.is_expired
+        if expiration is not None and now > expiration:
             self.dropped_expired += 1
             return False
         uid = message.uid
@@ -265,13 +266,16 @@ class PriorityEngine:
             # keeps forwarding so each message truly traverses every edge
             # in both directions (Table III's 2|E| cost).
             if message.flooding and node.config.naive_flooding:
-                self._forward(message, from_neighbor)
+                self._forward(message, from_neighbor, now)
             return
-        self._forward(message, from_neighbor)
+        self._forward(message, from_neighbor, now)
 
-    def _forward(self, message: Message, from_neighbor: Optional[NodeId]) -> None:
+    def _forward(
+        self, message: Message, from_neighbor: Optional[NodeId], now: Optional[float] = None
+    ) -> None:
         node = self._node
-        now = node.sim.now
+        if now is None:
+            now = node.sim.now
         if message.flooding:
             targets = flood_targets(
                 node.links,
@@ -295,7 +299,7 @@ class PriorityEngine:
             if link is None:
                 continue
             queue = link.priority_queue
-            had_backlog = len(queue) != 0
+            had_backlog = queue._live_total != 0
             if queue.offer(message, now) and not had_backlog:
                 # A backlogged link is already blocked on the PoR window
                 # or pacing, and both come with a wake-up (on_ready / a

@@ -28,6 +28,14 @@ networks, routing state) prepared before timing starts:
 ``pq_eviction``
     Priority-queue offers at capacity across 8 competing sources, forcing
     the heaviest-source eviction scan on every operation.
+``wire_batch_codec``
+    Round trip of one 8-frame batch datagram through the zero-copy wire
+    codec (encode into the shared buffer pool, decode via memoryview
+    slicing) — the per-wakeup unit of the batched live transport.
+``mac_batch_verify``
+    HMAC-SHA256 verification of an 8-packet batch through the amortized
+    :class:`~repro.crypto.mac.BatchMacContext` (one key schedule per
+    link, one context copy per packet).
 """
 
 from __future__ import annotations
@@ -244,6 +252,89 @@ class PqEvictionBench(Benchmark):
             self._queue.next_message(0.0)
 
 
+class WireBatchCodecBench(Benchmark):
+    """Encode + decode one 8-frame batch datagram (zero-copy wire path)."""
+
+    name = "wire_batch_codec"
+    quick_ops = 2_000
+    full_ops = 20_000
+
+    BATCH = 8
+
+    def setup(self, seed: int, total_ops: int) -> None:
+        import random
+
+        from repro.crypto.pki import Pki, PkiMode
+        from repro.link.por import PorData
+        from repro.messaging.message import Message, Semantics
+        from repro.runtime.wire import decode_datagram, encode_batch_datagram
+
+        self._encode = encode_batch_datagram
+        self._decode = decode_datagram
+        rng = random.Random(seed)
+        pki = Pki(mode=PkiMode.SIMULATED, seed=seed)
+        pki.register("a")
+        # Distinct payload bytes per frame so the codec sees realistic
+        # (uncompressible, non-interned) traffic.
+        self._batches = [
+            [
+                PorData(
+                    0,
+                    b * self.BATCH + k,
+                    rng.randbytes(8),
+                    Message(
+                        source="a",
+                        dest="b",
+                        seq=b * self.BATCH + k,
+                        semantics=Semantics.PRIORITY,
+                        priority=5,
+                        expiration=1e9,
+                        size_bytes=512,
+                        flooding=False,
+                        paths=(("a", "b"),),
+                        sent_at=0.0,
+                        payload=rng.randbytes(200),
+                    ).sign(pki),
+                    256,
+                )
+                for k in range(self.BATCH)
+            ]
+            for b in range(64)
+        ]
+
+    def op(self, i: int) -> None:
+        self._decode(self._encode("a", "b", self._batches[i % 64]))
+
+
+class MacBatchVerifyBench(Benchmark):
+    """Amortized HMAC-SHA256 verification of an 8-packet batch."""
+
+    name = "mac_batch_verify"
+    quick_ops = 2_000
+    full_ops = 20_000
+
+    BATCH = 8
+
+    def setup(self, seed: int, total_ops: int) -> None:
+        import random
+
+        from repro.crypto.mac import BatchMacContext
+
+        rng = random.Random(seed)
+        ctx = BatchMacContext(rng.randbytes(32))
+        self._ctx = ctx
+        messages = [rng.randbytes(256) for _ in range(self.BATCH * 64)]
+        self._pairs = [
+            [(m, ctx.tag(m)) for m in messages[b * self.BATCH : (b + 1) * self.BATCH]]
+            for b in range(64)
+        ]
+
+    def op(self, i: int) -> None:
+        verdicts = self._ctx.verify_batch(self._pairs[i % 64])
+        if not all(verdicts):
+            raise RuntimeError("batch MAC verification failed")
+
+
 #: Registry: stable name -> benchmark class, in report order.
 BENCHMARKS: Dict[str, Type[Benchmark]] = {
     bench.name: bench
@@ -253,6 +344,8 @@ BENCHMARKS: Dict[str, Type[Benchmark]] = {
         KPathsBench,
         PorRoundtripBench,
         PqEvictionBench,
+        WireBatchCodecBench,
+        MacBatchVerifyBench,
     )
 }
 

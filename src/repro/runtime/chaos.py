@@ -202,22 +202,24 @@ class ChaosUdpTransport(AsyncioUdpTransport):
         super().__init__(node_id, metrics=metrics)
         self._injector = injector
 
-    def sendto(self, peer_id: Any, data: bytes, _retry: bool = False) -> None:
+    def sendto(self, peer_id: Any, data: bytes, _retry: bool = False,
+               channel: Any = None) -> None:
         if self._injector is None:
-            super().sendto(peer_id, data, _retry=_retry)
+            super().sendto(peer_id, data, _retry=_retry, channel=channel)
             return
         for delay, payload in self._injector.plan(self.node_id, peer_id, data):
             if delay <= 0.0:
-                super().sendto(peer_id, payload, _retry=_retry)
+                super().sendto(peer_id, payload, _retry=_retry, channel=channel)
             elif self._loop is not None:
                 self._loop.call_later(
-                    delay, self._send_delayed, peer_id, payload
+                    delay, self._send_delayed, peer_id, payload, channel
                 )
 
-    def _send_delayed(self, peer_id: Any, payload: bytes) -> None:
+    def _send_delayed(self, peer_id: Any, payload: bytes,
+                      channel: Any = None) -> None:
         if self._transport is None:
             return  # closed while the delayed copy was in flight
-        super().sendto(peer_id, payload)
+        super().sendto(peer_id, payload, channel=channel)
 
 
 class LiveChaosEngine(ChaosEngine):

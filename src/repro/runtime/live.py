@@ -496,7 +496,7 @@ class LiveDeployment:
                 self.scheduler,
                 a,
                 b,
-                proc_a.transport.send_channel(b),
+                proc_a.transport.send_channel(b, coalesce=True),
                 proc_a.transport.receive_channel(b),
                 self.pki,
                 config=config.overlay.por,
@@ -505,7 +505,7 @@ class LiveDeployment:
                 self.scheduler,
                 b,
                 a,
-                proc_b.transport.send_channel(a),
+                proc_b.transport.send_channel(a, coalesce=True),
                 proc_b.transport.receive_channel(a),
                 self.pki,
                 config=config.overlay.por,
@@ -749,6 +749,8 @@ class LiveDeployment:
             "dispatch_errors": 0,
             "send_errors": 0,
             "send_retries": 0,
+            "send_drops": 0,
+            "datagrams_drained": 0,
         }
         for process in self.processes.values():
             transport = process.transport
@@ -761,6 +763,8 @@ class LiveDeployment:
             transport_totals["dispatch_errors"] += transport.dispatch_errors
             transport_totals["send_errors"] += transport.send_errors
             transport_totals["send_retries"] += transport.send_retries
+            transport_totals["send_drops"] += transport.send_drops
+            transport_totals["datagrams_drained"] += transport.datagrams_drained
         runtime_errors = list(self._runtime_errors)
         if self._errors_dropped:
             runtime_errors.append(

@@ -16,6 +16,31 @@ Both channel classes satisfy the
 same duck type :class:`repro.sim.channel.Channel` implements — so
 :class:`repro.link.por.PorEndpoint` runs unmodified over either.
 
+Batched wire path
+-----------------
+
+Three layers of batching amortize per-datagram overhead:
+
+* :meth:`UdpSendChannel.send_batch` packs several link packets into one
+  batch-container datagram (``FLAG_BATCH`` in :mod:`repro.runtime.wire`)
+  — one header, one CRC, one syscall for N frames.  With *coalescing*
+  enabled, plain :meth:`UdpSendChannel.send` calls inside one event-loop
+  tick are gathered and flushed as a batch at the end of the tick, so
+  PoR ACKs generated while data is queued piggyback in the same
+  datagram.  A single pending packet flushes through the classic
+  (flags=0) layout, keeping unbatched traffic byte-identical to the
+  simulator's conformance expectations.
+* :meth:`AsyncioUdpTransport.sendto_batch` hands a burst of encoded
+  datagrams to the kernel in one ``sendmmsg`` call where the platform's
+  ``socket`` module exposes it, falling back to per-datagram ``sendto``
+  (CPython's stdlib currently has no ``sendmmsg``, so the fallback is
+  the common path — the seam is what matters).
+* The receive path drains multiple queued datagrams per event-loop
+  wakeup: after asyncio hands over one datagram, the transport pulls
+  whatever else the socket already has (``recvmmsg`` where available,
+  bounded non-blocking ``recvfrom`` otherwise) instead of paying one
+  loop iteration per datagram.
+
 Robustness: anything that is not a well-formed, correctly addressed
 datagram from a known neighbor is counted and dropped — an attacker (or
 a stray process) spraying a node's port cannot crash it, only waste its
@@ -26,10 +51,14 @@ accept traffic from their direct MTMW neighbors.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import LiveRuntimeError, WireDecodeError, WireEncodeError
-from repro.runtime.wire import decode_datagram, encode_datagram
+from repro.runtime.wire import (
+    decode_datagram,
+    encode_batch_datagram,
+    encode_datagram,
+)
 
 Address = Tuple[str, int]
 
@@ -54,13 +83,27 @@ class UdpReceiveChannel:
         """TransportLike parity only: a receive channel never sends."""
         raise LiveRuntimeError("UdpReceiveChannel cannot send")
 
+    def send_batch(self, packets: Sequence[Tuple[Any, int]]) -> None:
+        """TransportLike parity only: a receive channel never sends."""
+        raise LiveRuntimeError("UdpReceiveChannel cannot send")
+
     def time_until_idle(self) -> float:
         """Always 0.0: receiving never backlogs the channel."""
         return 0.0
 
 
 class UdpSendChannel:
-    """The sending half of one directed link (local node -> peer)."""
+    """The sending half of one directed link (local node -> peer).
+
+    ``time_until_idle`` mirrors the sim :class:`~repro.sim.channel.
+    Channel` semantics exactly: when a serialization model is configured
+    (``bandwidth_bps`` plus a clock), sends advance a ``busy_until``
+    watermark by ``size_bytes * 8 / bandwidth`` and the channel reports
+    ``max(0.0, busy_until - now)``; without a model (bandwidth ``None``,
+    the sim's "infinite" setting) it reports 0.0 — the same answer the
+    sim gives, so the overlay pump's skip-on-backlog fast path behaves
+    identically on both substrates.
+    """
 
     __slots__ = (
         "_transport",
@@ -69,15 +112,51 @@ class UdpSendChannel:
         "packets_sent",
         "bytes_sent",
         "encode_errors",
+        "send_retries",
+        "send_drops",
+        "datagrams_sent",
+        "_clock",
+        "_bandwidth_bps",
+        "_busy_until",
+        "_coalesce",
+        "_pending",
+        "_flush_scheduled",
     )
 
-    def __init__(self, transport: "AsyncioUdpTransport", peer: Any):
+    def __init__(
+        self,
+        transport: "AsyncioUdpTransport",
+        peer: Any,
+        clock: Any = None,
+        bandwidth_bps: Optional[float] = None,
+        coalesce: bool = False,
+    ):
         self._transport = transport
         self.peer = peer
         self.on_receive: Optional[Callable[[Any], None]] = None  # unused; parity
         self.packets_sent = 0
         self.bytes_sent = 0
         self.encode_errors = 0
+        #: Per-link transmissions re-attempted by the transport's retry
+        #: path, and sends definitively dropped after the retry also
+        #: failed — the accounting the PoR link's loss model sees.
+        self.send_retries = 0
+        self.send_drops = 0
+        #: Real datagrams put on the socket (< packets_sent when batching).
+        self.datagrams_sent = 0
+        self._clock = clock
+        self._bandwidth_bps = bandwidth_bps
+        self._busy_until = 0.0
+        self._coalesce = coalesce
+        self._pending: List[Any] = []
+        self._flush_scheduled = False
+
+    def _advance_busy(self, size_bytes: int) -> None:
+        if self._bandwidth_bps is None or self._clock is None:
+            return
+        now = self._clock.now
+        start = now if now > self._busy_until else self._busy_until
+        self._busy_until = start + (size_bytes * 8.0) / self._bandwidth_bps
 
     def send(self, packet: Any, size_bytes: int) -> None:
         """Encode ``packet`` and transmit one datagram to the peer.
@@ -87,7 +166,28 @@ class UdpSendChannel:
         encoding.  A payload the codec cannot represent is counted and
         dropped (the PoR link treats it as loss), so one unsupported
         control object cannot crash the node's send path.
+
+        With coalescing enabled the packet is queued and flushed — as a
+        batch container when others joined it this tick — via
+        ``call_soon``, so ACKs piggyback with data generated in the same
+        wakeup.
         """
+        self._advance_busy(size_bytes)
+        if self._coalesce:
+            self._pending.append(packet)
+            if not self._flush_scheduled:
+                loop = self._transport._loop
+                if loop is not None:
+                    self._flush_scheduled = True
+                    loop.call_soon(self._flush)
+                    return
+                # No loop yet: fall through and send inline.
+                self._pending.pop()
+            else:
+                return
+        self._send_one(packet)
+
+    def _send_one(self, packet: Any) -> None:
         try:
             data = encode_datagram(self._transport.node_id, self.peer, packet)
         except WireEncodeError:
@@ -96,11 +196,57 @@ class UdpSendChannel:
             return
         self.packets_sent += 1
         self.bytes_sent += len(data)
-        self._transport.sendto(self.peer, data)
+        self.datagrams_sent += 1
+        self._transport.sendto(self.peer, data, channel=self)
+
+    def send_batch(self, packets: Sequence[Tuple[Any, int]]) -> None:
+        """Transmit several packets, batched into container datagrams.
+
+        ``packets`` is a sequence of ``(packet, size_bytes)`` pairs (the
+        same shape as N :meth:`send` calls).  All frames that fit go out
+        in one batch-container datagram; an over-large or unencodable
+        batch degrades to per-packet classic datagrams so one bad packet
+        only drops itself.
+        """
+        for _, size_bytes in packets:
+            self._advance_busy(size_bytes)
+        self._transmit_batch([packet for packet, _ in packets])
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        self._transmit_batch(pending)
+
+    def _transmit_batch(self, packets: List[Any]) -> None:
+        if not packets:
+            return
+        if len(packets) == 1:
+            self._send_one(packets[0])
+            return
+        try:
+            data = encode_batch_datagram(
+                self._transport.node_id, self.peer, packets
+            )
+        except WireEncodeError:
+            # Oversized container or one unencodable packet: fall back
+            # to classic per-packet datagrams (each individually guarded).
+            for packet in packets:
+                self._send_one(packet)
+            return
+        self.packets_sent += len(packets)
+        self.bytes_sent += len(data)
+        self.datagrams_sent += 1
+        self._transport.sendto(self.peer, data, channel=self)
 
     def time_until_idle(self) -> float:
-        """The kernel buffers sends; the channel is always ready."""
-        return 0.0
+        """Seconds until the serializer is free (0.0 if idle now)."""
+        if self._clock is None:
+            return 0.0
+        remaining = self._busy_until - self._clock.now
+        return remaining if remaining > 0.0 else 0.0
 
 
 class AsyncioUdpTransport(asyncio.DatagramProtocol):
@@ -111,6 +257,11 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
     #: retransmission takes over.
     SEND_RETRY_DELAY = 0.01
 
+    #: Upper bound on extra datagrams drained from the socket per
+    #: event-loop wakeup (beyond the one asyncio delivered), so one
+    #: flooding peer cannot starve the loop.
+    DRAIN_BATCH = 32
+
     def __init__(self, node_id: Any, metrics: Any = None):
         self.node_id = node_id
         self._transport: Optional[asyncio.DatagramTransport] = None
@@ -118,6 +269,10 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         self._host = "127.0.0.1"
         self._peers: Dict[Any, Address] = {}
         self._inbound: Dict[Any, UdpReceiveChannel] = {}
+        self._socket: Any = None
+        # Chaos (and other) subclasses interpose on per-datagram sendto;
+        # the kernel-batching fast path must not route around them.
+        self._sendto_plain = type(self).sendto is AsyncioUdpTransport.sendto
         # Drop accounting (spray-resistance observability).
         self.datagrams_received = 0
         self.bytes_received = 0
@@ -128,6 +283,13 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         self.dispatch_errors = 0
         self.send_errors = 0
         self.send_retries = 0
+        #: Sends abandoned after the retry also failed (or no retry was
+        #: possible): definitive transport-level loss, distinct from
+        #: ``send_errors`` which counts every failed attempt.
+        self.send_drops = 0
+        #: Extra datagrams pulled by the per-wakeup drain loop (they are
+        #: also counted in ``datagrams_received``).
+        self.datagrams_drained = 0
         #: When set, an exception escaping a receiver's ``on_receive`` is
         #: swallowed (counted as ``dispatch_errors``) and reported here
         #: instead of unwinding into the event loop — the deployment uses
@@ -150,6 +312,7 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
                 "dispatch_errors": metrics.counter("live.rx.dispatch_errors"),
                 "send_errors": metrics.counter("live.tx.send_errors"),
                 "send_retries": metrics.counter("live.tx.send_retries"),
+                "send_drops": metrics.counter("live.tx.send_drops"),
             }
 
     # ------------------------------------------------------------------
@@ -193,6 +356,11 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self._transport = transport  # type: ignore[assignment]
+        # asyncio wraps the socket in a TransportSocket facade that hides
+        # recvfrom/sendmmsg; unwrap to the real socket for the batched
+        # I/O fast paths (read-only use: asyncio still owns lifecycle).
+        sock = transport.get_extra_info("socket")
+        self._socket = getattr(sock, "_sock", sock)
 
     @property
     def local_address(self) -> Address:
@@ -211,6 +379,7 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+            self._socket = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -233,13 +402,27 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
             )
         self._peers[peer_id] = address
 
-    def send_channel(self, peer_id: Any) -> UdpSendChannel:
-        """The sending half of the directed link to ``peer_id``."""
+    def send_channel(
+        self,
+        peer_id: Any,
+        clock: Any = None,
+        bandwidth_bps: Optional[float] = None,
+        coalesce: bool = False,
+    ) -> UdpSendChannel:
+        """The sending half of the directed link to ``peer_id``.
+
+        ``clock`` + ``bandwidth_bps`` arm the sim-identical serialization
+        model behind :meth:`UdpSendChannel.time_until_idle`; ``coalesce``
+        turns on same-tick batch flushing.
+        """
         if peer_id not in self._peers:
             raise LiveRuntimeError(
                 f"{self.node_id!r} has no registered peer {peer_id!r}"
             )
-        return UdpSendChannel(self, peer_id)
+        return UdpSendChannel(
+            self, peer_id, clock=clock, bandwidth_bps=bandwidth_bps,
+            coalesce=coalesce,
+        )
 
     def receive_channel(self, peer_id: Any) -> UdpReceiveChannel:
         """The receiving half of the directed link from ``peer_id``."""
@@ -253,13 +436,20 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
     # ------------------------------------------------------------------
     # Datagram I/O
     # ------------------------------------------------------------------
-    def sendto(self, peer_id: Any, data: bytes, _retry: bool = False) -> None:
+    def sendto(
+        self,
+        peer_id: Any,
+        data: bytes,
+        _retry: bool = False,
+        channel: Optional[UdpSendChannel] = None,
+    ) -> None:
         """Send raw encoded bytes to a registered peer.
 
         A transient :class:`OSError` (e.g. ``ENOBUFS`` when the kernel's
         socket buffers are saturated) is counted and retried once after a
-        short delay; a second failure is dropped — the PoR link treats it
-        as loss and retransmits.
+        short delay; a second failure is *dropped and accounted* — the
+        transport's ``send_drops`` (and the originating channel's, when
+        known) record the definitive loss, and the PoR link retransmits.
         """
         if self._transport is None:
             return  # shutting down; drop silently
@@ -276,26 +466,92 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
                 self._counters["send_errors"].add()
             if not _retry and self._loop is not None:
                 self._loop.call_later(
-                    self.SEND_RETRY_DELAY, self._retry_sendto, peer_id, data
+                    self.SEND_RETRY_DELAY, self._retry_sendto, peer_id, data,
+                    channel,
                 )
+            else:
+                # The retry also failed (or no retry was possible): this
+                # datagram is definitively lost at the transport.
+                self._note_send_drop(channel)
             return
         if self._counters is not None:
             self._counters["tx"].add()
             self._counters["tx_bytes"].add(len(data))
 
-    def _retry_sendto(self, peer_id: Any, data: bytes) -> None:
+    def _retry_sendto(
+        self,
+        peer_id: Any,
+        data: bytes,
+        channel: Optional[UdpSendChannel] = None,
+    ) -> None:
         if self._transport is None or peer_id not in self._peers:
             return  # closed (or peer torn down) while the retry was queued
         self.send_retries += 1
         if self._counters is not None:
             self._counters["send_retries"].add()
-        self.sendto(peer_id, data, _retry=True)
+        if channel is not None:
+            # Per-link accounting: the retried transmission belongs to
+            # the link that originated the datagram.
+            channel.send_retries += 1
+        self.sendto(peer_id, data, _retry=True, channel=channel)
+
+    def _note_send_drop(self, channel: Optional[UdpSendChannel]) -> None:
+        self.send_drops += 1
+        if self._counters is not None:
+            self._counters["send_drops"].add()
+        if channel is not None:
+            channel.send_drops += 1
+
+    def sendto_batch(
+        self,
+        peer_id: Any,
+        datagrams: Sequence[bytes],
+        channel: Optional[UdpSendChannel] = None,
+    ) -> None:
+        """Send several encoded datagrams to one peer in one syscall.
+
+        Uses ``socket.sendmmsg`` when the platform exposes it *and* no
+        subclass interposes on :meth:`sendto` (the chaos transport must
+        see every datagram); otherwise falls back to per-datagram
+        :meth:`sendto`, which keeps the retry/drop accounting.
+        """
+        if not datagrams:
+            return
+        if self._sendto_plain and self._transport is not None:
+            sock = self._socket
+            sendmmsg = getattr(sock, "sendmmsg", None) if sock is not None else None
+            if sendmmsg is not None:
+                address = self._peers.get(peer_id)
+                if address is None:
+                    raise LiveRuntimeError(
+                        f"{self.node_id!r} has no registered peer {peer_id!r}"
+                    )
+                try:
+                    # Linux sendmmsg semantics: a list of sendmsg argument
+                    # tuples; returns how many messages were accepted.
+                    sent = sendmmsg(
+                        [([data], (), 0, address) for data in datagrams]
+                    )
+                except (OSError, TypeError):
+                    sent = 0  # kernel refused the batch; retry one by one
+                if self._counters is not None and sent:
+                    self._counters["tx"].add(sent)
+                    self._counters["tx_bytes"].add(
+                        sum(len(data) for data in datagrams[:sent])
+                    )
+                datagrams = datagrams[sent:]
+        for data in datagrams:
+            self.sendto(peer_id, data, channel=channel)
 
     def note_encode_error(self) -> None:
         """Record a dropped-at-encode packet (see UdpSendChannel.send)."""
         self.encode_errors += 1
 
     def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._process_datagram(data, addr)
+        self._drain_pending()
+
+    def _process_datagram(self, data: bytes, addr: Address) -> None:
         self.datagrams_received += 1
         self.bytes_received += len(data)
         if self._counters is not None:
@@ -316,18 +572,63 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
             self.unknown_sender += 1
             self._note_drop("drop_unknown")
             return
+        for packet in datagram.packets:
+            try:
+                channel.deliver(packet)
+            except Exception as exc:
+                self.dispatch_errors += 1
+                if self._counters is not None:
+                    self._counters["dispatch_errors"].add()
+                if self.on_dispatch_error is None:
+                    raise
+                # One poisoned handler (or payload) must not take the
+                # node's receive path down with it; the deployment decides
+                # whether the run still counts as healthy.
+                self.on_dispatch_error(exc)
+
+    def _drain_pending(self) -> None:
+        """Drain datagrams the socket already queued, in this wakeup.
+
+        asyncio's datagram transport hands over one datagram per loop
+        iteration; under burst load that is one full loop cycle of
+        overhead per datagram.  Pulling the rest of the queue here
+        (``recvmmsg`` where available, non-blocking ``recvfrom``
+        otherwise) amortizes the wakeup across the burst.  Bounded by
+        :data:`DRAIN_BATCH` so a flooding peer cannot starve the loop.
+        """
+        sock = self._socket
+        if sock is None or self._transport is None:
+            return
+        recvmmsg = getattr(sock, "recvmmsg", None)
+        if recvmmsg is not None:
+            try:
+                # Linux recvmmsg semantics: returns a list of recvmsg
+                # result tuples (data, ancdata, flags, address).
+                for data, _anc, _flags, addr in recvmmsg(
+                    self.DRAIN_BATCH, 65535
+                ):
+                    self.datagrams_drained += 1
+                    self._process_datagram(data, addr)
+                return
+            except (BlockingIOError, InterruptedError):
+                return
+            except (OSError, TypeError):
+                pass  # fall back to recvfrom below
         try:
-            channel.deliver(datagram.packet)
-        except Exception as exc:
-            self.dispatch_errors += 1
-            if self._counters is not None:
-                self._counters["dispatch_errors"].add()
-            if self.on_dispatch_error is None:
-                raise
-            # One poisoned handler (or payload) must not take the node's
-            # receive path down with it; the deployment decides whether
-            # the run still counts as healthy.
-            self.on_dispatch_error(exc)
+            recv_from = sock.recvfrom
+        except AttributeError:  # pragma: no cover - exotic socket wrapper
+            return
+        for _ in range(self.DRAIN_BATCH):
+            if self._transport is None:
+                return  # a handler closed us mid-drain
+            try:
+                data, addr = recv_from(65535)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # socket died mid-drain; error_received handles it
+            self.datagrams_drained += 1
+            self._process_datagram(data, addr)
 
     def _note_drop(self, reason: str) -> None:
         if self._counters is not None:

@@ -24,22 +24,50 @@ Datagram layout (all integers big-endian)::
     +------+------+--------+-----------+-------+----------------- - - -
     body = sender_id | receiver_id | envelope_tag(1B) | envelope fields
 
+With the :data:`FLAG_BATCH` flag bit set, the body instead carries a
+*batch container* — several link envelopes amortizing one datagram, one
+header, and one CRC::
+
+    body = sender_id | receiver_id | count(2B) | frames
+    frame = frame_len(4B) | envelope_tag(1B) | envelope fields
+
+A single-frame send always uses the classic (flags=0) layout, so batching
+is invisible on the wire unless two or more packets actually coalesce —
+sim/live conformance stays byte-identical for unbatched traffic.
+
 The CRC-32 covers the header (with the crc field itself excluded) plus
 the body, so any in-flight bit flip — UDP's 16-bit checksum is weak and
 optional — is rejected at decode time instead of reaching protocol state
-with a corrupted sequence number or epoch.
+with a corrupted sequence number or epoch.  The same trailer guards every
+frame of a batch: a flip anywhere in the container rejects the datagram.
+
+Zero-copy discipline:
+
+* **Decode** wraps the input in a :class:`memoryview` and unpacks fixed
+  fields in place (``struct.unpack_from``); the CRC is chained over
+  header and body views without re-concatenating them, and batch frames
+  are sliced as sub-views.  Only variable-length fields that outlive the
+  datagram (nonces, proofs, application payloads, text) are materialized,
+  and every length prefix is bounds-checked against the remaining budget
+  *before* any allocation, so a hostile length claim fails fast.
+* **Encode** writes into a pooled ``bytearray`` via ``pack_into``
+  (header reserved up front, CRC back-patched) and copies out the final
+  immutable ``bytes`` once.  Pool ownership rule: a buffer is owned by
+  exactly one encode call and is returned to the pool before the call
+  returns; the caller only ever sees the immutable copy.
 
 Malformed input *never* escapes as ``struct.error`` / ``IndexError`` /
 ``UnicodeDecodeError``: :func:`decode_datagram` raises
 :class:`repro.errors.WireDecodeError` for anything truncated, corrupted,
-over-length, or of an unknown version/tag, so a live node can drop bad
-datagrams and keep serving.  Encoding an object the format cannot carry
-(for example an administrator MTMW, which live deployments install out of
-band) raises :class:`repro.errors.WireEncodeError`.
+over-length, or of an unknown version/flag/tag, so a live node can drop
+bad datagrams and keep serving.  Encoding an object the format cannot
+carry (for example an administrator MTMW, which live deployments install
+out of band) raises :class:`repro.errors.WireEncodeError`.
 
 The format is deterministic: encoding the same object twice yields the
 same bytes, and ``decode(encode(x)) == x`` field-for-field (the property
-test in ``tests/test_runtime_wire.py`` drives this with Hypothesis).
+test in ``tests/test_runtime_wire.py`` drives this with Hypothesis; the
+batch container is fuzzed in ``tests/test_wire_batch.py``).
 """
 
 from __future__ import annotations
@@ -47,7 +75,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.crypto.simulated import SimulatedSignature
 from repro.errors import WireDecodeError, WireEncodeError
@@ -64,6 +92,12 @@ from repro.routing.link_state import LinkStateUpdate
 
 MAGIC = b"IT"
 VERSION = 2
+
+#: Flag bit marking a batch-container body (N frames in one datagram).
+FLAG_BATCH = 0x01
+
+#: All flag bits this codec understands; anything else is rejected.
+_KNOWN_FLAGS = FLAG_BATCH
 
 #: Bytes before the body: magic(2) + version(1) + flags(1) + body_len(4)
 #: + crc32(4).
@@ -98,49 +132,127 @@ _SIG_INT = 3
 _ID_INT = 0
 _ID_STR = 1
 
+# Pre-compiled packers shared by every encode/decode call.
+_S_U16 = struct.Struct(">H")
+_S_U32 = struct.Struct(">I")
+_S_I64 = struct.Struct(">q")
+_S_F64 = struct.Struct(">d")
+_S_VLF = struct.Struct(">BBI")  # version, flags, body_len
+_S_HDR = struct.Struct(">BBII")  # version, flags, body_len, crc
+
+_crc32 = zlib.crc32
+
 
 @dataclass(frozen=True)
 class Datagram:
-    """A decoded datagram: who sent it, whom it addresses, and the packet."""
+    """A decoded datagram: who sent it, whom it addresses, and the packet(s).
+
+    ``packet`` is the first (for classic datagrams: only) link envelope;
+    ``packets`` carries every frame of a batch container in order.  For a
+    classic datagram ``packets == (packet,)``.
+    """
 
     sender: Any
     receiver: Any
     packet: Any
+    packets: Tuple[Any, ...] = ()
+
+    def frames(self) -> Tuple[Any, ...]:
+        """Every link envelope in this datagram, in wire order."""
+        return self.packets if self.packets else (self.packet,)
+
+
+class _BufferPool:
+    """A small free-list of encode buffers (single-threaded ownership)."""
+
+    __slots__ = ("_free", "_max")
+
+    def __init__(self, max_buffers: int = 8):
+        self._free: List[bytearray] = []
+        self._max = max_buffers
+
+    def acquire(self) -> bytearray:
+        if self._free:
+            return self._free.pop()
+        return bytearray(2048)
+
+    def release(self, buf: bytearray) -> None:
+        if len(self._free) < self._max:
+            self._free.append(buf)
+
+
+_ENCODE_POOL = _BufferPool()
 
 
 class _Writer:
-    """Append-only binary writer with the codec's primitive types."""
+    """Binary writer over a growable buffer with the codec's primitives.
 
-    __slots__ = ("_parts",)
+    Writes land directly in ``buf`` via ``pack_into`` — no intermediate
+    ``bytes`` objects and no final join.  ``pos`` tracks the write head;
+    the caller slices ``buf[:pos]`` once at the end.
+    """
 
-    def __init__(self) -> None:
-        self._parts: List[bytes] = []
+    __slots__ = ("buf", "pos")
 
-    def getvalue(self) -> bytes:
-        return b"".join(self._parts)
+    def __init__(self, buf: Optional[bytearray] = None, start: int = 0) -> None:
+        self.buf = bytearray(256) if buf is None else buf
+        self.pos = start
+
+    def _grow(self, need: int) -> None:
+        buf = self.buf
+        buf.extend(bytearray(max(need - len(buf), len(buf), 256)))
 
     # Primitives ----------------------------------------------------------
     def u8(self, value: int) -> None:
-        self._parts.append(struct.pack(">B", value))
+        pos = self.pos
+        if pos + 1 > len(self.buf):
+            self._grow(pos + 1)
+        try:
+            self.buf[pos] = value
+        except ValueError:
+            raise WireEncodeError(f"u8 out of range: {value}") from None
+        self.pos = pos + 1
 
     def u16(self, value: int) -> None:
         if not 0 <= value <= 0xFFFF:
             raise WireEncodeError(f"u16 out of range: {value}")
-        self._parts.append(struct.pack(">H", value))
+        pos = self.pos
+        if pos + 2 > len(self.buf):
+            self._grow(pos + 2)
+        _S_U16.pack_into(self.buf, pos, value)
+        self.pos = pos + 2
 
     def u32(self, value: int) -> None:
         if not 0 <= value <= 0xFFFFFFFF:
             raise WireEncodeError(f"u32 out of range: {value}")
-        self._parts.append(struct.pack(">I", value))
+        pos = self.pos
+        if pos + 4 > len(self.buf):
+            self._grow(pos + 4)
+        _S_U32.pack_into(self.buf, pos, value)
+        self.pos = pos + 4
+
+    def patch_u32(self, at: int, value: int) -> None:
+        """Back-patch a u32 written earlier (batch frame lengths)."""
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise WireEncodeError(f"u32 out of range: {value}")
+        _S_U32.pack_into(self.buf, at, value)
 
     def i64(self, value: int) -> None:
+        pos = self.pos
+        if pos + 8 > len(self.buf):
+            self._grow(pos + 8)
         try:
-            self._parts.append(struct.pack(">q", value))
+            _S_I64.pack_into(self.buf, pos, value)
         except struct.error:
             raise WireEncodeError(f"i64 out of range: {value}") from None
+        self.pos = pos + 8
 
     def f64(self, value: float) -> None:
-        self._parts.append(struct.pack(">d", value))
+        pos = self.pos
+        if pos + 8 > len(self.buf):
+            self._grow(pos + 8)
+        _S_F64.pack_into(self.buf, pos, value)
+        self.pos = pos + 8
 
     def boolean(self, value: bool) -> None:
         self.u8(1 if value else 0)
@@ -148,10 +260,16 @@ class _Writer:
     def raw(self, value: bytes) -> None:
         if not isinstance(value, (bytes, bytearray)):
             raise WireEncodeError(f"expected bytes, got {type(value).__name__}")
-        if len(value) > 0xFFFF:
-            raise WireEncodeError(f"bytes field too long ({len(value)})")
-        self.u16(len(value))
-        self._parts.append(bytes(value))
+        length = len(value)
+        if length > 0xFFFF:
+            raise WireEncodeError(f"bytes field too long ({length})")
+        self.u16(length)
+        pos = self.pos
+        end = pos + length
+        if end > len(self.buf):
+            self._grow(end)
+        self.buf[pos:end] = value
+        self.pos = end
 
     def text(self, value: str) -> None:
         self.raw(value.encode("utf-8"))
@@ -198,44 +316,83 @@ class _Writer:
 
 
 class _Reader:
-    """Bounds-checked binary reader; all failures raise WireDecodeError."""
+    """Bounds-checked reader over a memoryview; failures raise WireDecodeError.
 
-    __slots__ = ("_data", "_pos")
+    Fixed-width fields are unpacked in place; variable-length fields are
+    budget-checked against the remaining bytes *before* any slice or
+    allocation, so a hostile length prefix cannot trigger a large
+    allocation or a quadratic scan.
+    """
 
-    def __init__(self, data: bytes) -> None:
+    __slots__ = ("_data", "_pos", "_len")
+
+    def __init__(self, data) -> None:
         self._data = data
         self._pos = 0
+        self._len = len(data)
 
     @property
     def exhausted(self) -> bool:
-        return self._pos == len(self._data)
+        return self._pos == self._len
 
-    def _take(self, count: int) -> bytes:
-        end = self._pos + count
-        if end > len(self._data):
+    @property
+    def remaining(self) -> int:
+        return self._len - self._pos
+
+    def _short(self, count: int) -> WireDecodeError:
+        return WireDecodeError(
+            f"truncated datagram: wanted {count} bytes at offset {self._pos}, "
+            f"have {self._len - self._pos}"
+        )
+
+    def budget(self, count: int, min_size: int, what: str) -> None:
+        """Fail fast when ``count`` elements cannot possibly fit.
+
+        Every count-prefixed collection calls this before looping: a
+        hostile count is rejected in O(1) instead of iterating (or
+        allocating) toward an eventual truncation error.
+        """
+        if count * min_size > self._len - self._pos:
             raise WireDecodeError(
-                f"truncated datagram: wanted {count} bytes at offset {self._pos}, "
-                f"have {len(self._data) - self._pos}"
+                f"{what} count {count} exceeds remaining "
+                f"{self._len - self._pos} bytes"
             )
-        chunk = self._data[self._pos:end]
-        self._pos = end
-        return chunk
 
     # Primitives ----------------------------------------------------------
     def u8(self) -> int:
-        return self._take(1)[0]
+        pos = self._pos
+        if pos >= self._len:
+            raise self._short(1)
+        self._pos = pos + 1
+        return self._data[pos]
 
     def u16(self) -> int:
-        return struct.unpack(">H", self._take(2))[0]
+        pos = self._pos
+        if pos + 2 > self._len:
+            raise self._short(2)
+        self._pos = pos + 2
+        return _S_U16.unpack_from(self._data, pos)[0]
 
     def u32(self) -> int:
-        return struct.unpack(">I", self._take(4))[0]
+        pos = self._pos
+        if pos + 4 > self._len:
+            raise self._short(4)
+        self._pos = pos + 4
+        return _S_U32.unpack_from(self._data, pos)[0]
 
     def i64(self) -> int:
-        return struct.unpack(">q", self._take(8))[0]
+        pos = self._pos
+        if pos + 8 > self._len:
+            raise self._short(8)
+        self._pos = pos + 8
+        return _S_I64.unpack_from(self._data, pos)[0]
 
     def f64(self) -> float:
-        return struct.unpack(">d", self._take(8))[0]
+        pos = self._pos
+        if pos + 8 > self._len:
+            raise self._short(8)
+        self._pos = pos + 8
+        return _S_F64.unpack_from(self._data, pos)[0]
 
     def boolean(self) -> bool:
         value = self.u8()
@@ -244,11 +401,23 @@ class _Reader:
         return value == 1
 
     def raw(self) -> bytes:
-        return self._take(self.u16())
+        count = self.u16()
+        pos = self._pos
+        end = pos + count
+        if end > self._len:
+            raise self._short(count)
+        self._pos = end
+        return bytes(self._data[pos:end])
 
     def text(self) -> str:
+        count = self.u16()
+        pos = self._pos
+        end = pos + count
+        if end > self._len:
+            raise self._short(count)
+        self._pos = end
         try:
-            return self.raw().decode("utf-8")
+            return str(self._data[pos:end], "utf-8")
         except UnicodeDecodeError as exc:
             raise WireDecodeError(f"invalid utf-8 in string field: {exc}") from None
 
@@ -259,6 +428,15 @@ class _Reader:
         if flag != 1:
             raise WireDecodeError(f"invalid optional flag {flag}")
         return self.f64()
+
+    def subview(self, count: int):
+        """A zero-copy sub-view of the next ``count`` bytes."""
+        pos = self._pos
+        end = pos + count
+        if end > self._len:
+            raise self._short(count)
+        self._pos = end
+        return self._data[pos:end]
 
     # Domain types --------------------------------------------------------
     def node_id(self) -> Any:
@@ -399,10 +577,17 @@ def _decode_payload(reader: _Reader) -> Any:
         if path_count == 0xFFFF:
             paths = None
         else:
-            paths = tuple(
-                tuple(reader.node_id() for _ in range(reader.u16()))
-                for _ in range(path_count)
-            )
+            # Each path costs at least a u16 hop count.
+            reader.budget(path_count, 2, "path")
+            paths_list = []
+            for _ in range(path_count):
+                hop_count = reader.u16()
+                # Each hop is at least a kind byte + 2-byte text length.
+                reader.budget(hop_count, 3, "path hop")
+                paths_list.append(
+                    tuple(reader.node_id() for _ in range(hop_count))
+                )
+            paths = tuple(paths_list)
         sent_at = reader.f64()
         app_payload = _decode_app_payload(reader)
         signature = reader.signature()
@@ -423,15 +608,21 @@ def _decode_payload(reader: _Reader) -> Any:
     if tag == _PL_E2E_ACK:
         dest = reader.node_id()
         stamp = reader.i64()
+        count = reader.u16()
+        # Each entry is at least a 2-byte text length + an i64.
+        reader.budget(count, 10, "cumulative-ack entry")
         cumulative = tuple(
-            (reader.text(), reader.i64()) for _ in range(reader.u16())
+            (reader.text(), reader.i64()) for _ in range(count)
         )
         return E2eAck(dest, stamp, cumulative, reader.signature())
     if tag == _PL_NEIGHBOR_ACK:
         sender = reader.node_id()
+        count = reader.u16()
+        # Two text lengths plus two i64s per entry, minimum.
+        reader.budget(count, 20, "neighbor-ack entry")
         entries = tuple(
             ((reader.text(), reader.text()), reader.i64(), reader.i64())
-            for _ in range(reader.u16())
+            for _ in range(count)
         )
         return NeighborAck(sender, entries)
     if tag == _PL_LINK_STATE:
@@ -502,7 +693,9 @@ def _decode_envelope(reader: _Reader) -> Any:
         epoch = reader.i64()
         cum_seq = reader.i64()
         proof = reader.raw()
-        missing = tuple(reader.i64() for _ in range(reader.u16()))
+        count = reader.u16()
+        reader.budget(count, 8, "missing-seq")
+        missing = tuple(reader.i64() for _ in range(count))
         mac = reader.signature()
         packet = PorAck(epoch, cum_seq, proof, missing)
         packet.mac = mac
@@ -517,6 +710,22 @@ def _decode_envelope(reader: _Reader) -> Any:
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
+def _finish_datagram(writer: _Writer, flags: int) -> bytes:
+    """Fill in the reserved header + CRC and copy out the immutable bytes."""
+    body_len = writer.pos - HEADER_SIZE
+    if body_len > MAX_BODY:
+        raise WireEncodeError(
+            f"encoded body is {body_len} bytes (max {MAX_BODY})"
+        )
+    buf = writer.buf
+    buf[0:2] = MAGIC
+    _S_VLF.pack_into(buf, 2, VERSION, flags, body_len)
+    with memoryview(buf) as view:
+        crc = _crc32(view[HEADER_SIZE:writer.pos], _crc32(view[:8]))
+        _S_U32.pack_into(buf, 8, crc)
+        return bytes(view[: writer.pos])
+
+
 def encode_datagram(sender: Any, receiver: Any, packet: Any) -> bytes:
     """Encode one link packet as a self-delimiting datagram.
 
@@ -524,52 +733,113 @@ def encode_datagram(sender: Any, receiver: Any, packet: Any) -> bytes:
     link the packet travels on; the receiving transport uses them to
     dispatch to the right PoR endpoint and to drop misdirected traffic.
     """
-    body = _Writer()
-    body.node_id(sender)
-    body.node_id(receiver)
-    _encode_envelope(body, packet)
-    encoded = body.getvalue()
-    if len(encoded) > MAX_BODY:
-        raise WireEncodeError(
-            f"encoded body is {len(encoded)} bytes (max {MAX_BODY})"
-        )
-    header = MAGIC + struct.pack(">BBI", VERSION, 0, len(encoded))
-    crc = zlib.crc32(header + encoded)
-    return header + struct.pack(">I", crc) + encoded
+    buf = _ENCODE_POOL.acquire()
+    try:
+        writer = _Writer(buf, start=HEADER_SIZE)
+        writer.node_id(sender)
+        writer.node_id(receiver)
+        _encode_envelope(writer, packet)
+        return _finish_datagram(writer, 0)
+    finally:
+        _ENCODE_POOL.release(writer.buf)
 
 
-def decode_datagram(data: bytes) -> Datagram:
+def encode_batch_datagram(
+    sender: Any, receiver: Any, packets: Sequence[Any]
+) -> bytes:
+    """Encode several link packets into one batch-container datagram.
+
+    A single packet degenerates to the classic layout (byte-identical to
+    :func:`encode_datagram`), so batching never changes unbatched bytes.
+    Raises :class:`WireEncodeError` when the batch is empty, has more
+    than 65535 frames, or overflows :data:`MAX_BODY`.
+    """
+    if not packets:
+        raise WireEncodeError("empty batch")
+    if len(packets) == 1:
+        return encode_datagram(sender, receiver, packets[0])
+    if len(packets) > 0xFFFF:
+        raise WireEncodeError(f"too many frames in batch ({len(packets)})")
+    buf = _ENCODE_POOL.acquire()
+    try:
+        writer = _Writer(buf, start=HEADER_SIZE)
+        writer.node_id(sender)
+        writer.node_id(receiver)
+        writer.u16(len(packets))
+        for packet in packets:
+            length_at = writer.pos
+            writer.u32(0)  # frame length, back-patched below
+            frame_start = writer.pos
+            _encode_envelope(writer, packet)
+            writer.patch_u32(length_at, writer.pos - frame_start)
+        return _finish_datagram(writer, FLAG_BATCH)
+    finally:
+        _ENCODE_POOL.release(writer.buf)
+
+
+def batch_fits(encoded_sizes: Sequence[int], overhead_per_frame: int = 4) -> bool:
+    """Whether frames of the given body sizes fit one batch datagram."""
+    total = sum(encoded_sizes) + overhead_per_frame * len(encoded_sizes)
+    return total <= MAX_BODY
+
+
+def decode_datagram(data) -> Datagram:
     """Decode one datagram; raises :class:`WireDecodeError` on any defect.
 
-    Rejects bad magic, unknown versions, truncated bodies, trailing
+    Accepts ``bytes``, ``bytearray``, or ``memoryview`` (the batched
+    receive path hands in views of a reusable receive buffer).  Rejects
+    bad magic, unknown versions or flags, truncated bodies, trailing
     garbage, over-length claims, checksum mismatches (bit flips in
     flight), and unknown tags — a live node treats all of these as "not
     our traffic" and drops the datagram.
     """
-    if not isinstance(data, (bytes, bytearray)):
+    if isinstance(data, memoryview):
+        view = data
+    elif isinstance(data, (bytes, bytearray)):
+        view = memoryview(data)
+    else:
         raise WireDecodeError(f"expected bytes, got {type(data).__name__}")
-    data = bytes(data)
-    if len(data) < HEADER_SIZE:
-        raise WireDecodeError(f"datagram too short ({len(data)} bytes)")
-    if data[:2] != MAGIC:
+    total = len(view)
+    if total < HEADER_SIZE:
+        raise WireDecodeError(f"datagram too short ({total} bytes)")
+    if view[0] != 0x49 or view[1] != 0x54:  # b"IT"
         raise WireDecodeError("bad magic")
-    version, _flags, body_len, crc = struct.unpack(">BBII", data[2:HEADER_SIZE])
+    version, flags, body_len, crc = _S_HDR.unpack_from(view, 2)
     if version != VERSION:
         raise WireDecodeError(f"unsupported wire version {version}")
+    if flags & ~_KNOWN_FLAGS:
+        raise WireDecodeError(f"unknown flag bits 0x{flags:02x}")
     if body_len > MAX_BODY:
         raise WireDecodeError(f"body length {body_len} exceeds maximum")
-    body = data[HEADER_SIZE:]
-    if len(body) != body_len:
+    if total - HEADER_SIZE != body_len:
         raise WireDecodeError(
-            f"length mismatch: header claims {body_len}, body has {len(body)}"
+            f"length mismatch: header claims {body_len}, "
+            f"body has {total - HEADER_SIZE}"
         )
-    if zlib.crc32(data[:8] + body) != crc:
+    if _crc32(view[HEADER_SIZE:], _crc32(view[:8])) != crc:
         raise WireDecodeError("checksum mismatch (datagram corrupted in flight)")
-    reader = _Reader(body)
+    reader = _Reader(view[HEADER_SIZE:])
     try:
         sender = reader.node_id()
         receiver = reader.node_id()
-        packet = _decode_envelope(reader)
+        if flags & FLAG_BATCH:
+            count = reader.u16()
+            if count == 0:
+                raise WireDecodeError("empty batch container")
+            # Each frame costs at least a u32 length + a 1-byte tag.
+            reader.budget(count, 5, "batch frame")
+            frames = []
+            for _ in range(count):
+                frame_len = reader.u32()
+                frame_reader = _Reader(reader.subview(frame_len))
+                frames.append(_decode_envelope(frame_reader))
+                if not frame_reader.exhausted:
+                    raise WireDecodeError("trailing bytes after envelope")
+            packet = frames[0]
+            packets = tuple(frames)
+        else:
+            packet = _decode_envelope(reader)
+            packets = (packet,)
     except WireDecodeError:
         raise
     except (struct.error, IndexError, ValueError, OverflowError) as exc:
@@ -578,4 +848,4 @@ def decode_datagram(data: bytes) -> Datagram:
         raise WireDecodeError(f"malformed datagram: {exc}") from None
     if not reader.exhausted:
         raise WireDecodeError("trailing bytes after envelope")
-    return Datagram(sender=sender, receiver=receiver, packet=packet)
+    return Datagram(sender=sender, receiver=receiver, packet=packet, packets=packets)

@@ -89,6 +89,12 @@ class Channel:
         self._sim = sim
         self.config = config
         self.name = name
+        # ChannelConfig is frozen; bind the per-packet fields once so the
+        # send fast path does plain attribute loads.
+        self._latency = config.latency
+        self._bandwidth_bps = config.bandwidth_bps
+        self._loss_rate = config.loss_rate
+        self._jitter = config.jitter
         self.on_receive: Optional[Callable[[Any], None]] = None
         self._busy_until = 0.0
         self._last_delivery = 0.0
@@ -165,8 +171,8 @@ class Channel:
         """Transmit ``packet``; delivery (or silent loss) is asynchronous."""
         now = self._sim.now
         start = max(now, self._busy_until)
-        if self.config.bandwidth_bps is not None:
-            serialization = (size_bytes * 8.0) / self.config.bandwidth_bps
+        if self._bandwidth_bps is not None:
+            serialization = (size_bytes * 8.0) / self._bandwidth_bps
         else:
             serialization = 0.0
         self._busy_until = start + serialization
@@ -174,17 +180,17 @@ class Channel:
         self.bytes_sent += size_bytes
 
         lost = not self._up
-        if not lost and self.config.loss_rate > 0.0:
-            lost = self._rng.random() < self.config.loss_rate
+        if not lost and self._loss_rate > 0.0:
+            lost = self._rng.random() < self._loss_rate
         if not lost and self._extra_loss > 0.0:
             lost = self._rng.random() < self._extra_loss
         if lost:
             self.packets_lost += 1
             return
 
-        delay = self.config.latency + self._extra_delay
-        if self.config.jitter > 0.0:
-            delay += self._rng.random() * self.config.jitter
+        delay = self._latency + self._extra_delay
+        if self._jitter > 0.0:
+            delay += self._rng.random() * self._jitter
         arrival = self._busy_until + delay
         # FIFO: never deliver before a previously sent packet.
         arrival = max(arrival, self._last_delivery)
@@ -193,6 +199,17 @@ class Channel:
             self._schedule_transient(arrival, self._deliver, packet)
         else:
             self._sim.schedule_at(arrival, self._deliver, packet)
+
+    def send_batch(self, packets: Any) -> None:
+        """Transmit several ``(packet, size_bytes)`` pairs in order.
+
+        The sim keeps batched sends bit-identical to sequential sends —
+        same serialization accounting, same loss draws, same delivery
+        events — so enabling batching on the live substrate cannot shift
+        simulated behavior (the conformance suite pins this).
+        """
+        for packet, size_bytes in packets:
+            self.send(packet, size_bytes)
 
     def _deliver(self, packet: Any) -> None:
         if not self._up:

@@ -141,3 +141,53 @@ def test_sim_and_live_agree_on_deliveries():
         assert 0.0 <= sim_mean < LATENCY_TOLERANCE_SECONDS
         assert 0.0 <= live_mean
         assert abs(live_mean - sim_mean) < LATENCY_TOLERANCE_SECONDS
+
+
+def test_time_until_idle_parity_between_substrates():
+    """The live UDP send channel's serializer model must answer
+    ``time_until_idle`` exactly like the sim channel for the same send
+    sequence and clock — the overlay pump's skip-on-backlog fast path
+    keys off this value on both substrates."""
+    from repro.link.por import _HelloWrapper
+    from repro.messaging.message import Hello
+    from repro.runtime.transport import AsyncioUdpTransport, UdpSendChannel
+    from repro.sim.channel import Channel, ChannelConfig
+    from repro.sim.engine import Simulator
+
+    bandwidth = 1_000_000.0  # 1 Mbit/s: 256 bytes serialize in ~2 ms
+    sim = Simulator(seed=SEED)
+    sim_channel = Channel(
+        sim, ChannelConfig(latency=0.0, bandwidth_bps=bandwidth), name="parity"
+    )
+    sim_channel.on_receive = lambda packet: None
+    transport = AsyncioUdpTransport("n")
+    transport.register_peer("peer", ("127.0.0.1", 9))  # never actually sent to
+    live_channel = UdpSendChannel(
+        transport, "peer", clock=sim, bandwidth_bps=bandwidth
+    )
+
+    assert sim_channel.time_until_idle() == live_channel.time_until_idle() == 0.0
+    packet = _HelloWrapper(Hello("n", 1))
+    for step, size in enumerate((256, 1024, 64, 4096)):
+        sim_channel.send(packet, size)
+        live_channel.send(packet, size)
+        assert sim_channel.time_until_idle() == live_channel.time_until_idle() > 0.0
+        if step % 2 == 0:
+            # Advance the shared clock partway through the busy window
+            # and re-compare mid-drain.
+            sim.run(until=sim.now + 0.0005)
+            assert sim_channel.time_until_idle() == live_channel.time_until_idle()
+    # Drain fully: both sides must agree they are idle again.
+    sim.run(until=sim.now + 60.0)
+    assert sim_channel.time_until_idle() == live_channel.time_until_idle() == 0.0
+
+    # And without a serialization model (the sim's "infinite bandwidth"
+    # setting) both substrates answer 0.0 unconditionally.
+    no_model_sim = Channel(
+        sim, ChannelConfig(latency=0.0, bandwidth_bps=None), name="parity2"
+    )
+    no_model_sim.on_receive = lambda packet: None
+    no_model_live = UdpSendChannel(transport, "peer", clock=sim, bandwidth_bps=None)
+    no_model_sim.send(packet, 10**6)
+    no_model_live.send(packet, 10**6)
+    assert no_model_sim.time_until_idle() == no_model_live.time_until_idle() == 0.0

@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.crypto.dh import GROUP_PRIME, DiffieHellman
-from repro.crypto.mac import MAC_SIZE, hmac_sha256, truncated_hmac, verify_hmac
+from repro.crypto.mac import (
+    MAC_SIZE,
+    BatchMacContext,
+    hmac_sha256,
+    truncated_hmac,
+    verify_hmac,
+)
 from repro.errors import CryptoError, MacError
 
 
@@ -87,3 +93,47 @@ class TestHmac:
     @given(st.binary(min_size=1, max_size=64), st.binary(max_size=128))
     def test_property_roundtrip(self, key, msg):
         verify_hmac(key, msg, hmac_sha256(key, msg))
+
+
+class TestBatchMacContext:
+    """The amortized per-link HMAC context must be byte-identical to the
+    one-shot functions — batching is a key-schedule optimization, never a
+    different MAC."""
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=128))
+    def test_tag_matches_one_shot(self, key, msg):
+        assert BatchMacContext(key).tag(msg) == hmac_sha256(key, msg)
+
+    def test_context_is_reusable_across_messages(self):
+        ctx = BatchMacContext(b"key")
+        messages = [b"a", b"bb", b"", b"a"]  # repeats and empties included
+        assert [ctx.tag(m) for m in messages] == [
+            hmac_sha256(b"key", m) for m in messages
+        ]
+
+    def test_tags_batch_matches_one_shot(self):
+        ctx = BatchMacContext(b"key")
+        messages = [bytes([i]) * i for i in range(10)]
+        assert ctx.tags(messages) == [hmac_sha256(b"key", m) for m in messages]
+
+    def test_verify_accepts_and_rejects(self):
+        ctx = BatchMacContext(b"key")
+        tag = ctx.tag(b"msg")
+        ctx.verify(b"msg", tag)  # no raise
+        with pytest.raises(MacError):
+            ctx.verify(b"msG", tag)
+
+    def test_verify_batch_reports_per_pair_verdicts(self):
+        ctx = BatchMacContext(b"key")
+        good = (b"one", ctx.tag(b"one"))
+        bad = (b"two", ctx.tag(b"one"))  # replayed tag, wrong message
+        assert ctx.verify_batch([good, bad, good]) == [True, False, True]
+
+    def test_rekey_switches_keys_completely(self):
+        ctx = BatchMacContext(b"old")
+        old_tag = ctx.tag(b"msg")
+        ctx.rekey(b"new")
+        assert ctx.tag(b"msg") == hmac_sha256(b"new", b"msg")
+        assert ctx.tag(b"msg") != old_tag
+        with pytest.raises(MacError):
+            ctx.verify(b"msg", old_tag)

@@ -265,3 +265,58 @@ class TestConfigValidation:
     def test_negative_slack(self):
         with pytest.raises(ConfigurationError):
             PorConfig(pacing_slack=-1.0)
+
+
+class TestAckCoalescing:
+    def test_in_order_burst_halves_ack_traffic(self):
+        """Delayed ACKs (factor 2): a long in-order stream generates about
+        one ACK per two data packets, not one per packet."""
+        config = PorConfig(window=64, ack_coalesce=2, ack_delay=0.002)
+        sim, a, b, _, delivered_b = make_link(config=config)
+        for i in range(40):
+            a.send(i, 100)
+        sim.run(until=5.0)
+        assert delivered_b == list(range(40))
+        assert a.in_flight == 0  # every packet acknowledged
+        assert b.acks_sent <= 40 // 2 + 2  # coalesced, plus boundary flushes
+
+    def test_gap_flushes_ack_immediately(self):
+        """A sequence gap must produce an immediate NACK-bearing ACK —
+        fast retransmit cannot wait out the delayed-ACK timer."""
+        from repro.link.por import PorData
+
+        config = PorConfig(window=64, ack_coalesce=8, ack_delay=0.1)
+        sim, a, b, _, _ = make_link(config=config)
+        a.send(0, 100)
+        sim.run(until=0.1)
+        acks_before = b.acks_sent
+        # Deliver seq 2 directly, skipping seq 1: out-of-order arrival.
+        nonce = a._nonce_rng.getrandbits(64).to_bytes(8, "big")
+        b._on_packet(PorData(0, 2, nonce, "skip", 100))
+        assert b.acks_sent == acks_before + 1  # flushed now, not deferred
+
+    def test_delayed_ack_timer_bounds_deferral(self):
+        """A lone packet (no follow-up to coalesce with) is still ACKed
+        within ack_delay, so the sender's RTT sample barely inflates."""
+        config = PorConfig(window=8, ack_coalesce=4, ack_delay=0.005)
+        sim, a, b, _, delivered_b = make_link(latency=0.0, config=config)
+        a.send("only", 100)
+        sim.run(until=0.001)
+        assert delivered_b == ["only"]
+        assert a.in_flight == 1  # ACK still held back
+        sim.run(until=0.050)
+        assert a.in_flight == 0  # flush timer fired well within ack_delay+slack
+        assert b.acks_sent == 1
+
+    def test_ack_delay_must_stay_below_rto(self):
+        with pytest.raises(ConfigurationError):
+            PorConfig(initial_rto=0.2, ack_delay=0.2)
+
+    def test_coalescing_disabled_acks_every_packet(self):
+        config = PorConfig(window=64, ack_coalesce=1)
+        sim, a, b, _, delivered_b = make_link(config=config)
+        for i in range(10):
+            a.send(i, 100)
+        sim.run(until=2.0)
+        assert delivered_b == list(range(10))
+        assert b.acks_sent >= 10

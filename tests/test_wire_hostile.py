@@ -114,6 +114,54 @@ def test_oversized_length_claim_rejected_without_allocation():
         decode_datagram(header + b"\x00" * 64)
 
 
+def _forge_valid_crc(body: bytes) -> bytes:
+    """A datagram whose header and CRC are valid over an arbitrary body,
+    so decoding reaches the *field readers* — the layer whose hostile
+    length-prefix guards these tests pin (the CRC only catches in-flight
+    corruption, not a malicious sender who checksums their own junk)."""
+    import struct
+    import zlib
+
+    from repro.runtime.wire import MAGIC, VERSION
+
+    header = MAGIC + struct.pack(">BBI", VERSION, 0, len(body))
+    return header + struct.pack(">I", zlib.crc32(header + body)) + body
+
+
+@given(claim=st.integers(min_value=0, max_value=0xFFFF))
+@settings(max_examples=200)
+def test_hostile_string_length_prefix_rejected(claim):
+    # The sender node id "peer" is the body's first field: a 1-byte
+    # string tag then a u16 length prefix.  Replace the prefix with an
+    # arbitrary claim (and re-checksum, as a hostile sender would): any
+    # wrong claim must fail fast and typed — an over-long claim would
+    # read past the body, a short one desynchronizes every later field.
+    import struct
+
+    from repro.runtime.wire import HEADER_SIZE
+
+    body = bytearray(valid_datagram()[HEADER_SIZE:])
+    true_len = struct.unpack_from(">H", body, 1)[0]
+    if claim == true_len:
+        return
+    struct.pack_into(">H", body, 1, claim)
+    with pytest.raises(WireDecodeError):
+        decode_datagram(_forge_valid_crc(bytes(body)))
+
+
+@given(body=st.binary(max_size=512))
+@settings(max_examples=300)
+def test_correctly_checksummed_junk_body_never_escapes_typed_error(body):
+    # With the CRC neutralized, every interior length/count prefix guard
+    # stands alone: arbitrary bodies must either decode (a structurally
+    # complete datagram by pure chance) or raise the typed error.
+    try:
+        decoded = decode_datagram(_forge_valid_crc(body))
+    except WireDecodeError:
+        return
+    assert decoded.packet is not None
+
+
 # ----------------------------------------------------------------------
 # Transport: hostile datagrams are counted and dropped, never raised
 # ----------------------------------------------------------------------
