@@ -1,0 +1,84 @@
+"""Cluster soak benchmark: the sharded multi-process overlay under fire.
+
+Partitions a generated 24-node overlay across 4 worker OS processes
+(each running its own asyncio/UDP event loop), arms the ``soak`` chaos
+preset (sliced per shard by the coordinator), and drives one signed
+mid-run JOIN and one signed LEAVE through the control plane.  The gate
+is the paper's guarantee lifted to the multi-process runtime: flows
+between correct (non-faulted, non-departed) nodes deliver ≥ 99%, no
+delivery invariant is violated on any shard, and the joiner's post-join
+flows deliver.  ``BENCH_cluster_soak.json`` carries the full aggregate
+report (per-shard metrics, membership ledger, rollup) for CI upload;
+its timing fields are inherently non-deterministic.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import Reporter, run_once
+
+from repro.cluster.deployment import run_cluster
+from repro.cluster.spec import ClusterConfig
+
+NODES = 24
+SHARDS = 4
+DURATION = 8.0
+SEED = 1
+
+#: The soak gate: correct-flow delivery may not dip below this.
+DELIVERY_FLOOR = 0.99
+
+
+def test_cluster_soak(benchmark):
+    reporter = Reporter("cluster_soak")
+    report = run_once(
+        benchmark,
+        lambda: run_cluster(ClusterConfig(
+            nodes=NODES, shards=SHARDS, duration=DURATION, seed=SEED,
+            rate_msgs_per_sec=5.0, drain=2.5,
+            chaos_preset="soak", joins=1, leaves=1,
+        )),
+    )
+    reporter.table(
+        ["shard", "flow", "semantics", "sent", "delivered", "ratio", "tag"],
+        [
+            (
+                f"s{flow['shard']}",
+                f"{flow['source']}->{flow['dest']}",
+                flow["semantics"],
+                flow["sent"],
+                flow["delivered"],
+                f"{flow['ratio']:.1%}",
+                "post-join" if flow["post_join"] else "",
+            )
+            for flow in report.flows
+        ],
+    )
+    reporter.line()
+    for event in report.membership_events:
+        reporter.line(
+            f"membership: {event['action']} node {event['node']} "
+            f"seqno {event['seqno']}"
+        )
+    reporter.line(
+        f"delivery: overall {report.delivery_ratio:.1%}  "
+        f"correct-flow {report.correct_flow_ratio:.1%}  "
+        f"post-join {report.post_join_ratio:.1%} "
+        f"(excluded: {sorted(report.excluded) or 'none'})"
+    )
+    reporter.line(
+        f"invariants: {report.violations} violation(s) across "
+        f"{report.shards} shard(s); wall {report.wall_seconds:.1f} s"
+    )
+    reporter.json_artifact(report.to_dict())
+    reporter.flush()
+
+    assert report.failures == [], report.failures
+    assert report.violations == 0
+    # One signed JOIN applied cluster-wide, one signed LEAVE drained.
+    assert len(report.joined) == 1
+    assert len(report.departed) == 1
+    assert str(report.departed[0]) in set(report.excluded)
+    assert report.post_join_flows
+    assert report.post_join_ratio >= DELIVERY_FLOOR
+    assert report.correct_flow_ratio >= DELIVERY_FLOOR, report.to_dict()["flows"]
+    assert report.ok

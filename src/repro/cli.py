@@ -207,14 +207,31 @@ def cmd_stats(args: argparse.Namespace) -> int:
         # Live mode: the report is the LiveReport dict (per-flow results,
         # transport totals incl. per-reason drop counters, chaos /
         # supervision / invariant summaries) rather than the sim report.
+        # With --shards the run is the sharded multi-process cluster and
+        # the dump is the ClusterReport: every flow carries its source
+        # shard id, ``shards_detail`` holds each worker's full metrics,
+        # and the top level is the cluster rollup.
         if args.format != "json":
             print("repro stats --live supports --format json only")
             return 2
-        from repro.runtime.live import LiveConfig, run_live
+        if args.shards:
+            from repro.cluster.deployment import run_cluster
+            from repro.cluster.spec import ClusterConfig
 
-        live_report = run_live(
-            LiveConfig(duration=args.seconds, seed=args.seed)
-        )
+            live_report = run_cluster(
+                ClusterConfig(
+                    nodes=max(6 * args.shards, 8),
+                    shards=args.shards,
+                    duration=args.seconds,
+                    seed=args.seed,
+                )
+            )
+        else:
+            from repro.runtime.live import LiveConfig, run_live
+
+            live_report = run_live(
+                LiveConfig(duration=args.seconds, seed=args.seed)
+            )
         rendered = json.dumps(
             live_report.to_dict(), sort_keys=True, indent=2
         ) + "\n"
@@ -375,6 +392,73 @@ def cmd_live(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster``: sharded multi-process overlay with signed
+    dynamic membership, aggregated by the coordinator control plane."""
+    import json
+
+    from repro.cluster.deployment import run_cluster
+    from repro.cluster.spec import ClusterConfig
+
+    config = ClusterConfig(
+        nodes=args.nodes,
+        shards=args.shards,
+        duration=args.duration,
+        seed=args.seed,
+        rate_msgs_per_sec=args.rate,
+        size_bytes=args.size,
+        drain=args.drain,
+        kpaths=args.k,
+        flow_stride=args.flow_stride,
+        chaos_preset=args.chaos,
+        chaos_intensity=args.chaos_intensity,
+        joins=args.joins,
+        leaves=args.leaves,
+    )
+    chaos_note = f", chaos={args.chaos}" if args.chaos else ""
+    print(f"cluster: {args.nodes} nodes over {args.shards} worker "
+          f"processes (UDP on 127.0.0.1), {args.duration:.0f} s wall "
+          f"clock, k={args.k}, seed={args.seed}{chaos_note}, "
+          f"{args.joins} join(s) + {args.leaves} leave(s)")
+    report = run_cluster(config)
+    for flow in report.flows:
+        latency = (f"{flow['mean_latency'] * 1000:7.2f} ms"
+                   if flow["mean_latency"] is not None else "      — ")
+        tag = " [post-join]" if flow["post_join"] else ""
+        print(f"  s{flow['shard']} {flow['source']!s:>3} -> "
+              f"{flow['dest']!s:<3} {flow['semantics']:<9}"
+              f" {flow['delivered']:>5}/{flow['sent']:<5} "
+              f"({flow['ratio']:6.1%})  latency {latency}{tag}")
+    excluded = ", ".join(sorted(report.excluded)) or "none"
+    print(f"delivery: overall {report.delivery_ratio:.1%}  "
+          f"correct-flow {report.correct_flow_ratio:.1%} "
+          f"(excluded: {excluded})")
+    if report.membership_events:
+        for event in report.membership_events:
+            host = (f" (hosted by shard {event['host_shard']})"
+                    if "host_shard" in event else "")
+            print(f"membership: {event['action']} node {event['node']} "
+                  f"seqno {event['seqno']}{host}")
+        if report.post_join_flows:
+            print(f"post-join delivery: {report.post_join_ratio:.1%} "
+                  f"over {len(report.post_join_flows)} joiner flow(s)")
+    print(f"invariants: {report.violations} violation(s) across "
+          f"{report.shards} shard(s); wall {report.wall_seconds:.1f} s")
+    for failure in report.failures:
+        print(f"failure: {failure}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote cluster report to {args.output}")
+    # Same gate semantics as ``repro live``: under chaos, only flows
+    # between non-excluded endpoints are held to the delivery floor.
+    gate_ratio = (report.correct_flow_ratio if args.chaos is not None
+                  else report.delivery_ratio)
+    ok = report.ok and gate_ratio >= args.min_delivery
+    return 0 if ok else 1
+
+
 def cmd_perfbench(args: argparse.Namespace) -> int:
     """``repro perfbench``: hot-path microbenchmarks + regression gate."""
     import json
@@ -489,6 +573,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "the simulator and dump its JSON report, "
                             "including transport drop counters "
                             "(--flows/--rate/--semantics are sim-only)")
+    stats.add_argument("--shards", type=int, default=0,
+                       help="with --live: run the sharded multi-process "
+                            "cluster with this many worker processes and "
+                            "dump the ClusterReport (per-flow shard id "
+                            "tags + cluster rollup + per-shard metrics)")
     stats.set_defaults(func=cmd_stats)
 
     live = sub.add_parser(
@@ -525,6 +614,46 @@ def build_parser() -> argparse.ArgumentParser:
                            "(correct-flow delivery when chaos is armed; "
                            "CI gate)")
     live.set_defaults(func=cmd_live)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="shard the overlay across worker processes with signed "
+             "dynamic membership",
+    )
+    cluster.add_argument("--nodes", type=int, default=24,
+                         help="total overlay size (generated topology)")
+    cluster.add_argument("--shards", type=int, default=4,
+                         help="number of worker OS processes")
+    cluster.add_argument("--duration", type=float, default=8.0,
+                         help="wall-clock seconds, including the drain window")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--rate", type=float, default=10.0,
+                         help="offered load per flow, messages/second")
+    cluster.add_argument("--size", type=int, default=200,
+                         help="message payload size in bytes")
+    cluster.add_argument("--drain", type=float, default=2.0,
+                         help="quiet tail after injection stops")
+    cluster.add_argument("--k", type=int, default=2,
+                         help="disjoint paths per message (0 = flooding)")
+    cluster.add_argument("--flow-stride", type=int, default=1,
+                         help="source every Nth flow of the global plan "
+                              "(thin the offered load on small hosts)")
+    cluster.add_argument("--chaos", choices=["link", "full", "soak"],
+                         default=None,
+                         help="arm seeded fault injection with this "
+                              "ChaosSpec preset (sliced per shard)")
+    cluster.add_argument("--chaos-intensity", type=float, default=1.0)
+    cluster.add_argument("--joins", type=int, default=1,
+                         help="mid-run signed JOINs to drive")
+    cluster.add_argument("--leaves", type=int, default=1,
+                         help="mid-run signed LEAVEs to drive")
+    cluster.add_argument("--output", default=None,
+                         help="also write the JSON ClusterReport to a file")
+    cluster.add_argument("--min-delivery", type=float, default=0.0,
+                         help="exit 1 if delivery falls below this fraction "
+                              "(correct-flow delivery when chaos is armed; "
+                              "CI gate)")
+    cluster.set_defaults(func=cmd_cluster)
 
     perfbench = sub.add_parser(
         "perfbench", help="hot-path microbenchmarks + perf-regression gate"

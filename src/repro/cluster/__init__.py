@@ -1,0 +1,31 @@
+"""Multi-process sharded live runtime (``repro.cluster``).
+
+Shards a live overlay across real OS processes: a coordinator partitions
+the topology into :class:`~repro.cluster.spec.ShardSpec` slices, spawns
+one worker process per shard (each running its own asyncio loop of
+:class:`~repro.runtime.live.NodeProcess` es over real UDP sockets), and
+drives the run over an authenticated TCP control plane — address
+exchange, chaos-schedule distribution, heartbeats, signed dynamic
+membership (JOIN/LEAVE), restart re-announcements, and per-shard report
+aggregation.  See DESIGN.md §14.
+"""
+
+from repro.cluster.deployment import ClusterDeployment, ClusterReport, run_cluster
+from repro.cluster.membership import (
+    MembershipLedger,
+    MembershipRecord,
+    membership_key,
+)
+from repro.cluster.spec import ClusterConfig, ShardSpec, partition_topology
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterDeployment",
+    "ClusterReport",
+    "MembershipLedger",
+    "MembershipRecord",
+    "ShardSpec",
+    "membership_key",
+    "partition_topology",
+    "run_cluster",
+]

@@ -1,0 +1,136 @@
+"""Seed-node bootstrap discovery over the UDP data plane.
+
+A node that joins mid-run knows only the run seed and the addresses of
+the per-shard *seed nodes* (the first node of every shard, fixed by the
+:class:`~repro.cluster.spec.ShardSpec`).  It discovers its anchor
+neighbors' current addresses by sending an
+:class:`~repro.runtime.wire.AddrQuery` to a seed node, which answers
+with an :class:`~repro.runtime.wire.AddrReply` from its directory;
+restarted nodes broadcast :class:`~repro.runtime.wire.AddrAnnounce` so
+directories stay current without any central registration step.
+
+These frames are deliberately *unauthenticated* (a joiner has no link —
+and thus no link key — yet): a forged reply or announce can at worst
+point a node at a wrong address, where every PoR packet then fails its
+MAC — degraded to a DoS the link retransmission already rides out, never
+to accepted traffic.  The authenticated membership decision itself rides
+the signed record path (:mod:`repro.cluster.membership`), not discovery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import LiveRuntimeError
+from repro.runtime.transport import Address, AsyncioUdpTransport
+from repro.runtime.wire import (
+    AddrAnnounce,
+    AddrQuery,
+    AddrReply,
+    encode_datagram,
+)
+
+
+class SeedDirectory:
+    """A seed node's address directory plus its query/announce handler.
+
+    Installed on the seed node's existing transport via the
+    ``on_control`` hook — discovery shares the node's data-plane socket,
+    so there is nothing extra to bind, supervise, or re-announce.
+    """
+
+    def __init__(
+        self,
+        transport: AsyncioUdpTransport,
+        addresses: Dict[Any, Address],
+        on_announce: Optional[Callable[[Any, Address], None]] = None,
+    ):
+        self._transport = transport
+        self.addresses = dict(addresses)
+        self.queries_answered = 0
+        self.announces_applied = 0
+        self._on_announce = on_announce
+        transport.on_control = self._handle
+
+    def update(self, node: Any, address: Address) -> None:
+        """Fold a new binding into the directory (restart, join)."""
+        self.addresses[node] = (address[0], address[1])
+
+    def forget(self, node: Any) -> None:
+        """Drop a departed node from the directory."""
+        self.addresses.pop(node, None)
+
+    def _handle(self, packet: Any, addr: Address) -> None:
+        if isinstance(packet, AddrQuery):
+            entries = tuple(
+                (target, self.addresses[target][0], self.addresses[target][1])
+                for target in packet.targets
+                if target in self.addresses
+            )
+            self.queries_answered += 1
+            self._transport.sendto_address(
+                encode_datagram(
+                    self._transport.node_id,
+                    packet.sender,
+                    AddrReply(packet.nonce, entries),
+                ),
+                addr,
+            )
+        elif isinstance(packet, AddrAnnounce):
+            self.update(packet.sender, (packet.host, packet.port))
+            self.announces_applied += 1
+            if self._on_announce is not None:
+                self._on_announce(packet.sender, (packet.host, packet.port))
+        # AddrReply at a seed node: not ours to handle; ignore.
+
+
+async def query_addresses(
+    transport: AsyncioUdpTransport,
+    seed_node: Any,
+    seed_address: Address,
+    targets: Tuple[Any, ...],
+    nonce: int,
+    timeout: float = 1.0,
+    attempts: int = 3,
+) -> Dict[Any, Address]:
+    """Resolve ``targets`` through one seed node, with bounded retries.
+
+    Temporarily installs an ``on_control`` hook on the querying node's
+    transport to catch the reply; UDP loss is handled by re-sending the
+    (idempotent) query up to ``attempts`` times.
+    """
+    loop = asyncio.get_event_loop()
+    previous = transport.on_control
+
+    for _ in range(attempts):
+        future: asyncio.Future = loop.create_future()
+
+        def catch(packet: Any, addr: Address, _future=future) -> None:
+            if (
+                isinstance(packet, AddrReply)
+                and packet.nonce == nonce
+                and not _future.done()
+            ):
+                _future.set_result(packet)
+
+        transport.on_control = catch
+        try:
+            transport.sendto_address(
+                encode_datagram(
+                    transport.node_id,
+                    seed_node,
+                    AddrQuery(transport.node_id, nonce, tuple(targets)),
+                ),
+                seed_address,
+            )
+            reply = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            continue
+        finally:
+            transport.on_control = previous
+        return {node: (host, port) for node, host, port in reply.entries}
+    raise LiveRuntimeError(
+        f"address discovery via seed {seed_node!r} timed out "
+        f"after {attempts} attempts"
+    )

@@ -1,0 +1,180 @@
+"""Signed dynamic-membership records (JOIN/LEAVE) for the live cluster.
+
+The paper's MTMW is an administrator-signed topology; dynamic membership
+extends the same trust root to runtime: the administrator (here, the
+cluster coordinator) signs a :class:`MembershipRecord` for every node
+addition or removal, and every shard independently verifies it before
+folding the change into a successor MTMW.  Records carry a monotonic
+sequence number so a replayed (stale) record — or one signed with the
+wrong key — is rejected exactly the way :class:`~repro.topology.mtmw.
+MtmwHolder` rejects stale/forged MTMWs.
+
+Records are authenticated with HMAC-SHA256 under a key derived purely
+from the run seed (:func:`membership_key`): unlike the SIMULATED PKI's
+builtin-``hash`` tags, an HMAC is stable across OS processes, which is
+the whole point here.  In a REAL-crypto deployment the record would
+carry an RSA signature under the MTMW admin key instead; the record
+format and replay discipline are identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.topology.mtmw import MtmwUpdateResult
+
+#: Membership actions.
+JOIN = "join"
+LEAVE = "leave"
+
+
+def membership_key(seed: int) -> bytes:
+    """The admin membership-signing key (pure function of the run seed,
+    so every shard process derives the verifier key independently)."""
+    return hashlib.sha256(f"repro-mtmw-admin-membership:{seed}".encode()).digest()
+
+
+@dataclass(frozen=True)
+class MembershipRecord:
+    """One signed membership change.
+
+    ``links`` are the anchor edges a joining node attaches with (empty
+    for a leave).  ``seqno`` is the MTMW sequence number the change
+    produces: applying the record yields a successor MTMW at exactly
+    this seqno, so record replay protection and MTMW replay protection
+    advance in lockstep.
+    """
+
+    action: str
+    node: Any
+    seqno: int
+    links: Tuple[Tuple[Any, float], ...] = ()
+    signature: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in (JOIN, LEAVE):
+            raise ConfigurationError(f"unknown membership action {self.action!r}")
+        if self.seqno < 2:
+            raise ConfigurationError(
+                "membership seqno must be >= 2 (seqno 1 is the boot MTMW)"
+            )
+        if self.action == JOIN and not self.links:
+            raise ConfigurationError("a join record needs anchor links")
+
+    # ------------------------------------------------------------------
+    # Signing
+    # ------------------------------------------------------------------
+    def signed_payload(self) -> bytes:
+        """Canonical bytes covered by the signature."""
+        return json.dumps(
+            {
+                "action": self.action,
+                "node": self.node,
+                "seqno": self.seqno,
+                "links": [[peer, weight] for peer, weight in self.links],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+
+    def signed(self, key: bytes) -> "MembershipRecord":
+        """A copy carrying the admin HMAC over the canonical payload."""
+        tag = _hmac.new(key, self.signed_payload(), hashlib.sha256).hexdigest()
+        return MembershipRecord(
+            self.action, self.node, self.seqno, self.links, tag
+        )
+
+    def verify(self, key: bytes) -> bool:
+        """Whether the signature is the admin's HMAC over the payload."""
+        if not self.signature:
+            return False
+        expected = _hmac.new(
+            key, self.signed_payload(), hashlib.sha256
+        ).hexdigest()
+        return _hmac.compare_digest(expected, self.signature)
+
+    # ------------------------------------------------------------------
+    # Wire form (control-plane JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Control-plane JSON form (signature included verbatim)."""
+        return {
+            "action": self.action,
+            "node": self.node,
+            "seqno": self.seqno,
+            "links": [[peer, weight] for peer, weight in self.links],
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MembershipRecord":
+        return cls(
+            action=str(data["action"]),
+            node=data["node"],
+            seqno=int(data["seqno"]),
+            links=tuple(
+                (peer, float(weight)) for peer, weight in data.get("links", [])
+            ),
+            signature=str(data.get("signature", "")),
+        )
+
+
+class MembershipLedger:
+    """A shard's replay-protected view of the membership record stream.
+
+    Mirrors :class:`~repro.topology.mtmw.MtmwHolder`: a record is
+    ACCEPTED only if its signature verifies *and* its seqno strictly
+    advances the ledger; otherwise BAD_SIGNATURE or STALE.  Every shard
+    runs one ledger, so a record replayed by a compromised peer (or a
+    delayed duplicate from the control plane itself) is applied at most
+    once cluster-wide.
+    """
+
+    def __init__(self, key: bytes, base_seqno: int = 1):
+        self._key = key
+        self.last_seqno = base_seqno
+        self.accepted: list = []
+        self.rejected_stale = 0
+        self.rejected_forged = 0
+
+    def consider(self, record: MembershipRecord) -> MtmwUpdateResult:
+        """Validate one record against the ledger (does not apply it)."""
+        if not record.verify(self._key):
+            self.rejected_forged += 1
+            return MtmwUpdateResult.BAD_SIGNATURE
+        if record.seqno <= self.last_seqno:
+            self.rejected_stale += 1
+            return MtmwUpdateResult.STALE
+        self.last_seqno = record.seqno
+        self.accepted.append(record)
+        return MtmwUpdateResult.ACCEPTED
+
+    def summary(self) -> Dict[str, Any]:
+        """Accepted/rejected record accounting for the shard report."""
+        return {
+            "last_seqno": self.last_seqno,
+            "accepted": [
+                {"action": r.action, "node": r.node, "seqno": r.seqno}
+                for r in self.accepted
+            ],
+            "rejected_stale": self.rejected_stale,
+            "rejected_forged": self.rejected_forged,
+        }
+
+
+def next_join_record(
+    current_nodes,
+    seqno: int,
+    anchors: Tuple[Tuple[Any, float], ...],
+    node: Optional[Any] = None,
+) -> MembershipRecord:
+    """The coordinator's unsigned join record: the new node id defaults
+    to max(existing) + 1 (int-id topologies), attached via ``anchors``."""
+    if node is None:
+        node = max(int(n) for n in current_nodes) + 1
+    return MembershipRecord(JOIN, node, seqno, anchors)

@@ -1,0 +1,730 @@
+"""One cluster shard: a worker process running its slice of the overlay.
+
+``worker_main`` is the ``multiprocessing`` (spawn) entry point.  Its
+``payload`` is a dict of primitives only — node lists, edge triples, a
+serialized chaos slice, scalars — so the spawn pickle never depends on
+repro object versions.  The worker connects back to the coordinator's
+TCP control plane, boots a :class:`ShardDeployment` (a
+:class:`~repro.runtime.live.LiveDeployment` that binds sockets only for
+its *local* nodes and wires cross-shard Proof-of-Receipt links against
+the coordinator-distributed address map), and then serves control frames
+— signed membership JOIN/LEAVE, peer re-announcements — until STOP.
+
+Cross-process determinism contract: the coordinator sets
+``PYTHONHASHSEED`` before spawning, so the SIMULATED PKI's builtin-hash
+MACs agree between workers; link secrets and the membership/control HMAC
+keys are sha256-derived from the run seed and agree by construction.
+Every worker regenerates the identical topology, PKI, and boot MTMW from
+``(edges, seed)`` alone — nothing protocol-level crosses the process
+boundary except real UDP datagrams and signed control frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.control import control_key, read_frame, write_frame
+from repro.cluster.discovery import SeedDirectory, query_addresses
+from repro.cluster.membership import (
+    MembershipLedger,
+    MembershipRecord,
+    membership_key,
+)
+from repro.crypto.pki import Pki
+from repro.errors import LiveRuntimeError
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.schedule import FaultSchedule
+from repro.link.por import PorEndpoint
+from repro.messaging.message import Semantics
+from repro.overlay.config import DisseminationMethod
+from repro.overlay.node import OverlayNode
+from repro.runtime.chaos import ChaosUdpTransport, DatagramFaultInjector, LiveChaosEngine
+from repro.runtime.live import LiveConfig, LiveDeployment, NodeProcess, flow_plan
+from repro.runtime.scheduler import AsyncioScheduler
+from repro.runtime.supervision import NodeSupervisor, SupervisionConfig
+from repro.runtime.transport import AsyncioUdpTransport
+from repro.runtime.wire import AddrAnnounce, encode_datagram
+from repro.sim.stats import StatsRegistry
+from repro.topology.graph import NodeId, Topology
+from repro.topology.mtmw import Mtmw, MtmwUpdateResult
+
+#: Seconds between a LEAVE's traffic stop and the node's final kill, so
+#: in-flight messages drain before the socket disappears.
+LEAVE_DRAIN_GRACE = 0.3
+
+#: Slack past the configured duration before a shard self-stops when the
+#: coordinator's STOP frame never arrives (dead coordinator safety net).
+STOP_DEADLINE_SLACK = 60.0
+
+
+def _node(value: Any) -> Any:
+    """JSON object keys arrive as strings; our node ids are ints."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return value
+
+
+def _worker_live_config(payload: Dict[str, Any]) -> LiveConfig:
+    kpaths = int(payload.get("kpaths", 0))
+    method = (
+        DisseminationMethod.k_paths(kpaths)
+        if kpaths
+        else DisseminationMethod.flooding()
+    )
+    chaos = (
+        FaultSchedule.from_dict(payload["chaos"]) if payload.get("chaos") else None
+    )
+    return LiveConfig(
+        nodes=int(payload["total_nodes"]),
+        duration=float(payload["duration"]),
+        seed=int(payload["seed"]),
+        method=method,
+        rate_msgs_per_sec=float(payload["rate_msgs_per_sec"]),
+        size_bytes=int(payload["size_bytes"]),
+        host=str(payload["host"]),
+        drain=float(payload["drain"]),
+        chaos=chaos,
+        supervision=SupervisionConfig(**payload.get("supervision", {})),
+        monitor_invariants=bool(payload.get("monitor_invariants", True)),
+    )
+
+
+class ShardDeployment(LiveDeployment):
+    """A LiveDeployment hosting one shard of a sharded cluster.
+
+    ``processes`` holds only the shard's local nodes; ``topology``,
+    ``pki``, and ``mtmw`` cover the *full* overlay (regenerated
+    deterministically), so routing, chaos partitions, and membership
+    updates see the same world every other shard sees.
+    """
+
+    def __init__(
+        self,
+        payload: Dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ):
+        super().__init__(_worker_live_config(payload))
+        self.shard_id = int(payload["shard_id"])
+        self.local_nodes: List[NodeId] = [_node(n) for n in payload["nodes"]]
+        self.local_set = set(self.local_nodes)
+        topo = Topology()
+        for node in payload["all_nodes"]:
+            topo.add_node(_node(node))
+        for a, b, weight in payload["edges"]:
+            topo.add_edge(_node(a), _node(b), float(weight))
+        self.topology = topo
+        self._epoch = float(payload["epoch"])
+        self._key = control_key(int(payload["seed"]))
+        self._mkey = membership_key(int(payload["seed"]))
+        self.ledger = MembershipLedger(self._mkey)
+        self._reader = reader
+        self._writer = writer
+        #: shard id -> that shard's bootstrap seed node.
+        self.seed_nodes: Dict[int, NodeId] = {
+            int(shard): _node(node)
+            for shard, node in payload.get("seed_nodes", {}).items()
+        }
+        self.heartbeat_interval = float(payload.get("heartbeat_interval", 0.5))
+        self._flow_stride = max(1, int(payload.get("flow_stride", 1)))
+        #: node -> (host, port) for every node in the cluster (from the
+        #: coordinator's address map; updated by announces/joins).
+        self.addresses: Dict[NodeId, Tuple[str, int]] = {}
+        self.joined: List[NodeId] = []
+        self.departed: List[NodeId] = []
+        self.directory: Optional[SeedDirectory] = None
+        self._flow_meta: List[Dict[str, Any]] = []
+        self._join_nonce = 0
+
+    # ------------------------------------------------------------------
+    # Boot (control-plane two-phase: HELLO -> ADDR_MAP -> READY -> START)
+    # ------------------------------------------------------------------
+    async def _boot(self) -> None:
+        config = self.config
+        loop = asyncio.get_event_loop()
+        loop.set_exception_handler(self._on_loop_exception)
+        self.scheduler = AsyncioScheduler(
+            seed=config.seed, loop=loop, epoch=self._epoch
+        )
+        self.pki = Pki(mode=config.overlay.crypto.pki_mode, seed=config.seed)
+        for node_id in self.topology.nodes:
+            self.pki.register(node_id)
+        self.mtmw = Mtmw.create(self.topology, self.pki)
+        self.chaos_schedule = self._resolve_chaos()
+        if self.chaos_schedule is not None:
+            self.injector = DatagramFaultInjector(
+                self.scheduler.rngs.stream("live-chaos")
+            )
+
+        # Phase 1: bind the *local* nodes only.
+        for node_id in sorted(self.local_nodes):
+            await self._boot_node(node_id, self.mtmw)
+
+        # Control-plane handshake: tell the coordinator where our nodes
+        # landed; learn where everyone else's landed.
+        await self._send(
+            {
+                "kind": "hello",
+                "shard": self.shard_id,
+                "addresses": {
+                    str(n): list(self.processes[n].address)
+                    for n in self.local_nodes
+                },
+            }
+        )
+        frame = await read_frame(self._reader, self._key)
+        if frame.get("kind") != "addr_map":
+            raise LiveRuntimeError(
+                f"expected addr_map, got {frame.get('kind')!r}"
+            )
+        self.addresses = {
+            _node(node): (addr[0], int(addr[1]))
+            for node, addr in frame["addresses"].items()
+        }
+
+        # Phase 2: one PoR half per (local endpoint, MTMW edge) — the
+        # remote half lives in whichever process hosts the other end.
+        for a, b in self.topology.edges():
+            if a in self.local_set:
+                self._wire_half(a, b)
+            if b in self.local_set:
+                self._wire_half(b, a)
+        for process in self.processes.values():
+            process.overlay.start()
+
+        # The shard's first node doubles as its bootstrap seed node.
+        self.directory = SeedDirectory(
+            self.processes[self.local_nodes[0]].transport, self.addresses
+        )
+
+        if config.monitor_invariants:
+            self.monitor = InvariantMonitor(
+                self, check_interval=config.invariant_check_interval
+            )
+            self.monitor.arm()
+        self.supervisor = NodeSupervisor(self, config.supervision)
+        self.supervisor.arm()
+        if self.chaos_schedule is not None:
+            assert self.injector is not None
+            self.chaos_engine = LiveChaosEngine(
+                self, self.chaos_schedule, self.injector, self.supervisor
+            )
+
+        await self._send({"kind": "ready", "shard": self.shard_id})
+        frame = await read_frame(self._reader, self._key)
+        if frame.get("kind") != "start":
+            raise LiveRuntimeError(f"expected start, got {frame.get('kind')!r}")
+
+        if self.chaos_engine is not None:
+            self.chaos_engine.arm()
+        self._started_at = loop.time()
+        self._start_traffic()
+
+    async def _boot_node(self, node_id: NodeId, mtmw: Mtmw) -> None:
+        """Bind one local node's socket and build its protocol stack."""
+        config = self.config
+        stats = StatsRegistry(self.scheduler)
+        if not self.processes:
+            self.pki.attach_metrics(stats.metrics)
+        if self.injector is not None:
+            transport: AsyncioUdpTransport = await ChaosUdpTransport.open(
+                node_id, host=config.host, metrics=stats.metrics,
+                injector=self.injector,
+            )
+        else:
+            transport = await AsyncioUdpTransport.open(
+                node_id, host=config.host, metrics=stats.metrics
+            )
+        transport.on_dispatch_error = (
+            lambda exc, _node=node_id: self._on_dispatch_error(_node, exc)
+        )
+        overlay = OverlayNode(
+            self.scheduler, node_id, mtmw, self.pki, config.overlay, stats
+        )
+        self.processes[node_id] = NodeProcess(
+            node_id, self.scheduler, transport, overlay, stats
+        )
+
+    def _wire_half(self, local: NodeId, remote: NodeId) -> None:
+        """This process's half of the PoR link ``local <-> remote``.
+
+        Both halves derive the same link secret from the seed, so each
+        side establishing out-of-band independently yields a working
+        authenticated link — no cross-process handshake needed at boot.
+        """
+        process = self.processes[local]
+        process.transport.register_peer(remote, self.addresses[remote])
+        endpoint = PorEndpoint(
+            self.scheduler,
+            local,
+            remote,
+            process.transport.send_channel(remote, coalesce=True),
+            process.transport.receive_channel(remote),
+            self.pki,
+            config=self.config.overlay.por,
+        )
+        endpoint.establish_out_of_band()
+        endpoint.attach_mac_counters(process.stats.metrics)
+        process.overlay.attach_link(remote, endpoint)
+
+    def _start_traffic(self) -> None:
+        """The global flow plan, thinned by ``flow_stride`` (every shard
+        computes the same plan, so the stride selects the same flows
+        everywhere), then filtered to locally sourced flows (the
+        destination may be remote; delivery lands in its shard's stats)."""
+        plan = flow_plan(sorted(self.topology.nodes))
+        for index, (source, dest, semantics) in enumerate(plan):
+            if index % self._flow_stride:
+                continue
+            if source in self.local_set:
+                self._launch_flow(source, dest, semantics, post_join=False)
+
+    def _launch_flow(
+        self,
+        source: NodeId,
+        dest: NodeId,
+        semantics: Semantics,
+        post_join: bool,
+    ) -> None:
+        from repro.workloads.traffic import CbrTraffic
+
+        config = self.config
+        generator = CbrTraffic(
+            self,
+            source,
+            dest,
+            rate_bps=config.rate_msgs_per_sec * config.size_bytes * 8.0,
+            size_bytes=config.size_bytes,
+            semantics=semantics,
+            method=config.method,
+        )
+        self.traffic.append(generator)
+        self._flow_specs.append((source, dest, semantics))
+        self._flow_meta.append({"post_join": post_join})
+        generator.start()
+
+    # ------------------------------------------------------------------
+    # Run loop: serve control frames until STOP
+    # ------------------------------------------------------------------
+    async def serve_cluster(self) -> None:
+        """Inject, apply membership/peer frames as they arrive, stop on
+        the coordinator's STOP (or a generous deadline if it dies)."""
+        config = self.config
+        loop = asyncio.get_event_loop()
+        self.scheduler.schedule(config.inject_seconds, self._stop_injection)
+        heartbeats = loop.create_task(self._heartbeats())
+        deadline = loop.time() + config.duration + STOP_DEADLINE_SLACK
+        try:
+            while True:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    self._record_error(
+                        "control plane: no STOP before deadline; self-stopping"
+                    )
+                    return
+                try:
+                    frame = await asyncio.wait_for(
+                        read_frame(self._reader, self._key), timeout
+                    )
+                except asyncio.TimeoutError:
+                    self._record_error(
+                        "control plane: no STOP before deadline; self-stopping"
+                    )
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    self._record_error("control plane: connection lost")
+                    return
+                kind = frame.get("kind")
+                if kind == "stop":
+                    return
+                if kind == "join":
+                    await self._handle_join(frame)
+                elif kind == "leave":
+                    self._handle_leave(frame)
+                elif kind == "peer_update":
+                    self._handle_peer_update(frame)
+                # Unknown kinds are ignored (forward compatibility).
+        finally:
+            heartbeats.cancel()
+
+    def _stop_injection(self) -> None:
+        for generator in self.traffic:
+            generator.stop()
+
+    async def _heartbeats(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_interval)
+                await self._send(
+                    {
+                        "kind": "heartbeat",
+                        "shard": self.shard_id,
+                        "now": self.scheduler.now if self.scheduler else 0.0,
+                    }
+                )
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            return
+
+    async def _send(self, body: Dict[str, Any]) -> None:
+        await write_frame(self._writer, self._key, body)
+
+    # ------------------------------------------------------------------
+    # Dynamic membership
+    # ------------------------------------------------------------------
+    async def _handle_join(self, frame: Dict[str, Any]) -> None:
+        record = MembershipRecord.from_dict(frame["record"])
+        record = MembershipRecord(
+            record.action,
+            _node(record.node),
+            record.seqno,
+            tuple((_node(peer), weight) for peer, weight in record.links),
+            record.signature,
+        )
+        hosting = int(frame.get("host_shard", -1)) == self.shard_id
+        result = self.ledger.consider(record)
+        if result is not MtmwUpdateResult.ACCEPTED:
+            if hosting:
+                await self._send(
+                    {
+                        "kind": "join_ack",
+                        "shard": self.shard_id,
+                        "node": record.node,
+                        "ok": False,
+                        "result": result.value,
+                    }
+                )
+            return
+
+        # Fold the new member into topology, PKI, and a successor MTMW —
+        # identical on every shard, because all inputs are identical.
+        new_topo = self.topology.copy()
+        new_topo.add_node(record.node)
+        for peer, weight in record.links:
+            new_topo.add_edge(record.node, peer, weight)
+        self.topology = new_topo
+        self.pki.register(record.node)
+        self.mtmw = self.mtmw.successor(new_topo, self.pki)
+
+        address = frame.get("address")
+        if address is not None:
+            self.addresses[record.node] = (address[0], int(address[1]))
+
+        # Local overlays adopt first, so are_neighbors checks pass when
+        # anchor links attach below (adoption also floods the successor
+        # MTMW over existing links — remote nodes converge both ways).
+        for node_id, process in list(self.processes.items()):
+            process.overlay.adopt_mtmw(self.mtmw)
+        if self.directory is not None and record.node in self.addresses:
+            self.directory.update(record.node, self.addresses[record.node])
+
+        if hosting:
+            await self._boot_joiner(record)
+        elif record.node in self.addresses:
+            # Wire the local halves of the joiner's anchor links.
+            joiner_address = self.addresses[record.node]
+            for peer, _weight in record.links:
+                if peer in self.local_set:
+                    process = self.processes[peer]
+                    process.transport.register_peer(record.node, joiner_address)
+                    self._wire_half(peer, record.node)
+
+    async def _boot_joiner(self, record: MembershipRecord) -> None:
+        """Boot the joining node in this shard and report its address."""
+        node_id = record.node
+        await self._boot_node(node_id, self.mtmw)
+        process = self.processes[node_id]
+        self.local_set.add(node_id)
+        self.local_nodes.append(node_id)
+        self.joined.append(node_id)
+        address = process.address
+        self.addresses[node_id] = address
+        if self.directory is not None:
+            self.directory.update(node_id, address)
+
+        # Bootstrap discovery: resolve anchor addresses through the
+        # shard's seed node over the UDP data plane (the address map is
+        # the fallback if the lossy discovery exchange times out).
+        seed_node = self.local_nodes[0]
+        self._join_nonce += 1
+        resolved: Dict[NodeId, Tuple[str, int]] = {}
+        if seed_node != node_id and seed_node in self.addresses:
+            try:
+                resolved = await query_addresses(
+                    process.transport,
+                    seed_node,
+                    self.addresses[seed_node],
+                    tuple(peer for peer, _ in record.links),
+                    nonce=record.seqno * 1000 + self._join_nonce,
+                )
+            except LiveRuntimeError:
+                resolved = {}
+        for peer, _weight in record.links:
+            peer_address = resolved.get(peer, self.addresses.get(peer))
+            if peer_address is None:
+                self._record_error(
+                    f"join: no address for anchor {peer!r}; link skipped"
+                )
+                continue
+            process.transport.register_peer(peer, peer_address)
+            endpoint = PorEndpoint(
+                self.scheduler,
+                node_id,
+                peer,
+                process.transport.send_channel(peer, coalesce=True),
+                process.transport.receive_channel(peer),
+                self.pki,
+                config=self.config.overlay.por,
+            )
+            endpoint.establish_out_of_band()
+            endpoint.attach_mac_counters(process.stats.metrics)
+            process.overlay.attach_link(peer, endpoint)
+            # Anchor peers hosted in this shard wire their halves now;
+            # remote anchors wire theirs when the broadcast reaches them.
+            if peer in self.local_set:
+                self.processes[peer].transport.register_peer(node_id, address)
+                self._wire_half(peer, node_id)
+        process.overlay.start()
+        if self.supervisor is not None:
+            self.supervisor.adopt(node_id)
+        if self.monitor is not None:
+            self.monitor.watch(process.overlay)
+
+        # The joiner immediately sources traffic: one priority and one
+        # reliable flow aimed across the overlay (gated as post-join).
+        others = [n for n in sorted(self.topology.nodes) if n != node_id]
+        if others:
+            self._launch_flow(
+                node_id, others[len(others) // 2], Semantics.PRIORITY, True
+            )
+            self._launch_flow(
+                node_id, others[len(others) // 3], Semantics.RELIABLE, True
+            )
+        await self._send(
+            {
+                "kind": "join_ack",
+                "shard": self.shard_id,
+                "node": node_id,
+                "address": list(address),
+                "ok": True,
+            }
+        )
+
+    def _handle_leave(self, frame: Dict[str, Any]) -> None:
+        record = MembershipRecord.from_dict(frame["record"])
+        record = MembershipRecord(
+            record.action,
+            _node(record.node),
+            record.seqno,
+            (),
+            record.signature,
+        )
+        if self.ledger.consider(record) is not MtmwUpdateResult.ACCEPTED:
+            return
+        node = record.node
+        new_topo = Topology()
+        for n in self.topology.nodes:
+            if n != node:
+                new_topo.add_node(n)
+        for a, b in self.topology.edges():
+            if node not in (a, b):
+                new_topo.add_edge(a, b, self.topology.weight(a, b))
+        self.topology = new_topo
+        self.mtmw = self.mtmw.successor(new_topo, self.pki)
+        # Flows touching the leaver stop everywhere: its own sources
+        # drain out, and remote sources must not keep offering traffic
+        # to a destination the successor MTMW no longer routes to.
+        for generator, (source, dest, _sem) in zip(
+            self.traffic, self._flow_specs
+        ):
+            if node in (source, dest):
+                generator.stop()
+        if node in self.local_set:
+            # Drain discipline: traffic stopped above; let in-flight
+            # messages land, then retire the node for good.
+            self.departed.append(node)
+            self.local_set.discard(node)
+            self.scheduler.schedule(LEAVE_DRAIN_GRACE, self._retire, node)
+        if self.directory is not None:
+            self.directory.forget(node)
+        self.addresses.pop(node, None)
+        for node_id, process in self.processes.items():
+            if node_id != node:
+                process.overlay.adopt_mtmw(self.mtmw)
+
+    def _retire(self, node: NodeId) -> None:
+        if self.supervisor is not None:
+            self.supervisor.retire(node)
+
+    # ------------------------------------------------------------------
+    # Cross-shard restart re-announcement
+    # ------------------------------------------------------------------
+    def announce_restart(self, node_id: NodeId, address: Any) -> None:
+        address = (address[0], int(address[1]))
+        self.addresses[node_id] = address
+        if self.directory is not None:
+            self.directory.update(node_id, address)
+        # Reliable path: the coordinator relays a peer_update to every
+        # other shard.
+        asyncio.get_event_loop().create_task(
+            self._send(
+                {
+                    "kind": "announce",
+                    "shard": self.shard_id,
+                    "node": node_id,
+                    "address": list(address),
+                }
+            )
+        )
+        # Fast path: refresh the other shards' seed directories directly
+        # over UDP (best-effort; a lost announce only delays discovery).
+        process = self.processes.get(node_id)
+        if process is None:
+            return
+        for shard, seed in self.seed_nodes.items():
+            if shard == self.shard_id:
+                continue
+            seed_address = self.addresses.get(seed)
+            if seed_address is not None:
+                process.transport.sendto_address(
+                    encode_datagram(
+                        node_id,
+                        seed,
+                        AddrAnnounce(node_id, address[0], address[1]),
+                    ),
+                    seed_address,
+                )
+
+    def _handle_peer_update(self, frame: Dict[str, Any]) -> None:
+        node = _node(frame["node"])
+        address = (frame["address"][0], int(frame["address"][1]))
+        self.addresses[node] = address
+        if self.directory is not None:
+            self.directory.update(node, address)
+        for process in self.processes.values():
+            try:
+                process.transport.update_peer_address(node, address)
+            except LiveRuntimeError:
+                continue  # this node has no link to the restarted peer
+            link = process.overlay.links.get(node)
+            if link is not None:
+                # Both ends must agree the link restarted (the restarting
+                # shard reset its own half already).
+                link.por.reset()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def shard_report(self) -> Dict[str, Any]:
+        """This shard's JSON report (the coordinator aggregates these).
+
+        Unlike :meth:`LiveDeployment.report`, delivery counts are *not*
+        joined here — a flow's destination may live in another process —
+        so flows carry only the send side; the coordinator joins them
+        against every shard's per-node latency recorders.
+        """
+        flows = [
+            {
+                "source": source,
+                "dest": dest,
+                "semantics": semantics.value,
+                "sent": generator.messages_sent,
+                "post_join": meta["post_join"],
+            }
+            for generator, (source, dest, semantics), meta in zip(
+                self.traffic, self._flow_specs, self._flow_meta
+            )
+        ]
+        transport_totals = {
+            "datagrams_received": 0,
+            "bytes_received": 0,
+            "decode_errors": 0,
+            "misdirected": 0,
+            "unknown_sender": 0,
+            "encode_errors": 0,
+            "dispatch_errors": 0,
+            "send_errors": 0,
+            "send_retries": 0,
+            "send_drops": 0,
+            "datagrams_drained": 0,
+        }
+        for process in self.processes.values():
+            transport = process.transport
+            for key in transport_totals:
+                transport_totals[key] += getattr(transport, key)
+        runtime_errors = list(self._runtime_errors)
+        if self._errors_dropped:
+            runtime_errors.append(
+                f"... {self._errors_dropped} further runtime error(s) dropped"
+            )
+        chaos_summary = None
+        if self.chaos_engine is not None:
+            chaos_summary = self.chaos_engine.summary()
+            chaos_summary["injector"] = self.injector.summary()
+            chaos_summary["schedule_counts"] = self.chaos_schedule.counts()
+        return {
+            "shard": self.shard_id,
+            "nodes": [n for n in sorted(self.local_nodes, key=str)],
+            "joined": list(self.joined),
+            "departed": list(self.departed),
+            "wall_seconds": self.scheduler.now if self.scheduler else 0.0,
+            "flows": flows,
+            "per_node": {
+                str(node_id): process.snapshot()
+                for node_id, process in sorted(
+                    self.processes.items(), key=lambda item: str(item[0])
+                )
+            },
+            "transport": transport_totals,
+            "runtime_errors": runtime_errors,
+            "chaos": chaos_summary,
+            "supervision": (
+                self.supervisor.summary() if self.supervisor is not None else None
+            ),
+            "invariants": (
+                self.monitor.summary() if self.monitor is not None else None
+            ),
+            "membership": self.ledger.summary(),
+            "failed": self._failed,
+        }
+
+
+async def _worker(payload: Dict[str, Any]) -> None:
+    key = control_key(int(payload["seed"]))
+    reader, writer = await asyncio.open_connection(
+        payload["control_host"], int(payload["control_port"])
+    )
+    deployment = ShardDeployment(payload, reader, writer)
+    try:
+        try:
+            await deployment.start()
+            await deployment.serve_cluster()
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            deployment._failed = True
+            deployment._record_error(
+                f"shard {deployment.shard_id}: {type(exc).__name__}: {exc}"
+            )
+        finally:
+            await deployment.stop()
+        try:
+            await write_frame(
+                writer,
+                key,
+                {
+                    "kind": "report",
+                    "shard": deployment.shard_id,
+                    "report": deployment.shard_report(),
+                },
+            )
+        except (ConnectionError, OSError):
+            pass  # coordinator gone; exit code still tells the story
+    finally:
+        writer.close()
+
+
+def worker_main(payload: Dict[str, Any]) -> None:
+    """The ``multiprocessing`` spawn entry point for one shard."""
+    asyncio.run(_worker(payload))

@@ -128,6 +128,12 @@ class InvariantMonitor:
         self.network.recover = recover  # type: ignore[method-assign]
         self.network.sim.schedule(self.check_interval, self._periodic)
 
+    def watch(self, node) -> None:
+        """Attach delivery checking to a node added after :meth:`arm`
+        (dynamic membership: a mid-run JOIN booted it).  Idempotent."""
+        if self._armed and self._on_delivery not in node.delivery_observers:
+            node.delivery_observers.append(self._on_delivery)
+
     def attach_defense(self, defense) -> None:
         """Register an adaptive defense controller: every periodic sweep
         then asserts its simultaneous-downtime budget as an invariant

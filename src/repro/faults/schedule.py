@@ -70,6 +70,27 @@ class Fault:
         line = f"{self.start:012.6f} +{self.duration:09.6f} {self.kind:<9} [{target}]"
         return f"{line} {params}".rstrip()
 
+    def to_dict(self) -> dict:
+        """JSON form (cluster control plane ships schedules to shards)."""
+        return {
+            "start": self.start,
+            "kind": self.kind,
+            "target": list(self.target),
+            "duration": self.duration,
+            "params": [[k, v] for k, v in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fault":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            start=float(data["start"]),
+            kind=str(data["kind"]),
+            target=tuple(data["target"]),
+            duration=float(data["duration"]),
+            params=tuple((str(k), float(v)) for k, v in data.get("params", [])),
+        )
+
 
 @dataclass(frozen=True)
 class ChaosSpec:
@@ -309,6 +330,48 @@ class FaultSchedule:
         ))
         return FaultSchedule(
             self.seed, max(self.duration, other.duration), merged
+        )
+
+    def restricted_to(self, nodes) -> "FaultSchedule":
+        """The slice of this schedule a cluster shard must apply.
+
+        ``nodes`` is the set of node ids the shard hosts.  Link faults
+        (``flap``/``gray``/``noise``) are kept when *either* endpoint is
+        local — each shard impairs its own send sides of the link, and
+        the two shards owning a cross-shard link each apply their half.
+        Node faults (``burst``/``crash``/``churn``) are kept only for
+        local nodes.  ``partition`` faults are kept everywhere: a
+        partition is defined by its bipartition over the *full*
+        topology, and each shard's injector downs only the cut-edge send
+        sides it owns.
+        """
+        local = set(nodes)
+        kept = []
+        for fault in self.faults:
+            if fault.kind in ("flap", "gray", "noise"):
+                if fault.target[0] in local or fault.target[1] in local:
+                    kept.append(fault)
+            elif fault.kind == "partition":
+                kept.append(fault)
+            elif fault.target[0] in local:
+                kept.append(fault)
+        return FaultSchedule(self.seed, self.duration, tuple(kept))
+
+    def to_dict(self) -> dict:
+        """JSON form (cluster control plane ships schedules to shards)."""
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seed=int(data["seed"]),
+            duration=float(data["duration"]),
+            faults=tuple(Fault.from_dict(f) for f in data.get("faults", [])),
         )
 
     def counts(self) -> dict:

@@ -115,6 +115,10 @@ class Message:
         cached = self._signed_fields_cache
         if cached is not None:
             return cached
+        # No ``None`` in the canonical tuple: ``hash(None)`` is derived
+        # from its address on CPython < 3.12, so a None field would make
+        # SIMULATED signatures disagree across OS processes (the sharded
+        # cluster runtime verifies messages signed in another process).
         fields = (
             "msg",
             str(self.source),
@@ -122,10 +126,10 @@ class Message:
             self.seq,
             self.semantics.value,
             self.priority,
-            self.expiration,
+            -1.0 if self.expiration is None else self.expiration,
             self.size_bytes,
             self.flooding,
-            tuple(tuple(str(n) for n in p) for p in self.paths) if self.paths else None,
+            tuple(tuple(str(n) for n in p) for p in self.paths) if self.paths else (),
             self.sent_at,
         )
         object.__setattr__(self, "_signed_fields_cache", fields)

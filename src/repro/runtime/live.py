@@ -422,6 +422,13 @@ class LiveDeployment:
         """Re-initialize a node's overlay state after a restart."""
         self.processes[node_id].overlay.recover()
 
+    def announce_restart(self, node_id: NodeId, address: Any) -> None:
+        """Supervisor hook after a node rebinds.  All neighbors live in
+        this process for a single-loop deployment, so the supervisor's
+        direct re-pointing already covered them; a sharded cluster
+        deployment overrides this to relay the new address to remote
+        shards over the control plane."""
+
     # ------------------------------------------------------------------
     # Boot
     # ------------------------------------------------------------------

@@ -60,9 +60,18 @@ class AsyncioScheduler:
     ``asyncio.run``).
     """
 
-    def __init__(self, seed: int = 0, loop: Optional[asyncio.AbstractEventLoop] = None):
+    def __init__(
+        self,
+        seed: int = 0,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        epoch: Optional[float] = None,
+    ):
         self._loop = loop or asyncio.get_event_loop()
-        self._epoch = self._loop.time()
+        # A cluster coordinator distributes one shared ``epoch`` (a
+        # CLOCK_MONOTONIC reading, which asyncio's clock also uses) to
+        # every shard process so cross-shard latency stamps share a time
+        # base; a standalone deployment rebases to its own creation time.
+        self._epoch = self._loop.time() if epoch is None else epoch
         self._handles: Set[AsyncioHandle] = set()
         self._callbacks_run = 0
         self.rngs = RngRegistry(seed)

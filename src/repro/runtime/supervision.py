@@ -43,6 +43,9 @@ from repro.errors import ConfigurationError, LiveRuntimeError
 RUNNING = "running"
 DOWN = "down"
 BROKEN = "broken"
+#: A node decommissioned by a signed membership LEAVE: permanently down
+#: by design, never restarted, and not a failure.
+DEPARTED = "departed"
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,13 @@ class SupervisionConfig:
     #: attempts (successful or failed).
     max_restarts: int = 8
     watchdog_interval: float = 0.05
+    #: Bind attempts per restart: the supervisor first tries to reclaim
+    #: the port the node was bound to before it died (so peers'
+    #: registrations stay valid), then falls back to fresh ephemeral
+    #: binds.  Under many processes on one host an ephemeral bind can
+    #: race another process grabbing the same port, so even port-0 binds
+    #: get bounded retries.
+    rebind_attempts: int = 3
 
     def __post_init__(self) -> None:
         if self.backoff_initial <= 0:
@@ -72,6 +82,8 @@ class SupervisionConfig:
             raise ConfigurationError("max_restarts must be >= 1")
         if self.watchdog_interval <= 0:
             raise ConfigurationError("watchdog_interval must be positive")
+        if self.rebind_attempts < 1:
+            raise ConfigurationError("rebind_attempts must be >= 1")
 
 
 class NodeRecord:
@@ -163,7 +175,7 @@ class NodeSupervisor:
         current backoff — unless ``hold`` is set, in which case the
         restart additionally waits for :meth:`release`."""
         record = self._record(node_id)
-        if record.state == BROKEN:
+        if record.state in (BROKEN, DEPARTED):
             return
         if record.state == DOWN:
             # Overlapping fault (e.g. crash inside churn): just extend.
@@ -188,6 +200,27 @@ class NodeSupervisor:
         """Drop the hold placed by ``kill(..., hold=True)``: the node
         becomes eligible to restart once its backoff expires."""
         self._record(node_id).held = False
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (cluster shards)
+    # ------------------------------------------------------------------
+    def adopt(self, node_id: Any) -> None:
+        """Start supervising a node added after :meth:`arm` (a signed
+        mid-run JOIN booted it).  Idempotent."""
+        if node_id not in self.records:
+            self.records[node_id] = NodeRecord()
+
+    def retire(self, node_id: Any) -> None:
+        """Permanently decommission a node (a signed LEAVE): kill it if
+        still running, then pin it DEPARTED so neither the watchdog nor
+        a chaos-engine release can ever restart it."""
+        record = self._record(node_id)
+        if record.state == RUNNING:
+            self.kill(node_id, reason="membership leave")
+        record.state = DEPARTED
+        record.held = False
+        record.next_restart_at = None
+        self.events.append((self.deployment.sim.now, f"retire {node_id!r}"))
 
     # ------------------------------------------------------------------
     # Watchdog
@@ -234,14 +267,22 @@ class NodeSupervisor:
             ))
             return
         try:
-            address = await process.transport.reopen()
+            address = await self._rebind(process.transport)
             for neighbor in self.deployment.topology.neighbors(node_id):
-                peer = self.deployment.processes[neighbor]
+                # In a sharded cluster some neighbors live in other OS
+                # processes; their re-pointing happens via the control
+                # plane (deployment.announce_restart below).
+                peer = self.deployment.processes.get(neighbor)
+                if peer is None:
+                    continue
                 peer.transport.update_peer_address(node_id, address)
                 # Reset the peer-facing PoR epoch, as OverlayNetwork.
                 # recover does: both ends must agree the link restarted.
                 peer.overlay.links[node_id].por.reset()
             self.deployment.recover(node_id)
+            announce = getattr(self.deployment, "announce_restart", None)
+            if announce is not None:
+                announce(node_id, address)
         except Exception as exc:
             record.consecutive_failures += 1
             backoff = self._next_backoff(node_id, record)
@@ -260,6 +301,30 @@ class NodeSupervisor:
         record.next_restart_at = None
         process.stats.counter("supervisor.restarts").add()
         self.events.append((now, f"restart {node_id!r} @ {address}"))
+
+    async def _rebind(self, transport: Any) -> Any:
+        """Reopen the node's socket with bounded bind attempts.
+
+        The first attempt tries to reclaim the port the socket was bound
+        to before the kill (``transport.last_local_port``): if it
+        succeeds, every peer's registration is already correct and the
+        re-announce is a formality.  If another process won the port in
+        the meantime (bind race under many workers per host), the
+        remaining attempts fall back to fresh ephemeral binds.  All
+        attempts failing re-raises the last ``OSError`` into the normal
+        restart-failure backoff path.
+        """
+        attempts = self.config.rebind_attempts
+        last_port = getattr(transport, "last_local_port", None)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            port = last_port if (attempt == 0 and last_port) else 0
+            try:
+                return await transport.reopen(port=port)
+            except OSError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
 
     # ------------------------------------------------------------------
     # Policy
@@ -313,6 +378,9 @@ class NodeSupervisor:
             "restarts": self.total_restarts,
             "broken": sorted(
                 str(n) for n, r in self.records.items() if r.state == BROKEN
+            ),
+            "departed": sorted(
+                str(n) for n, r in self.records.items() if r.state == DEPARTED
             ),
             "crashed_nodes": sorted(str(n) for n in self.crashed_nodes()),
             "nodes": {

@@ -55,12 +55,19 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import LiveRuntimeError, WireDecodeError, WireEncodeError
 from repro.runtime.wire import (
+    AddrAnnounce,
+    AddrQuery,
+    AddrReply,
     decode_datagram,
     encode_batch_datagram,
     encode_datagram,
 )
 
 Address = Tuple[str, int]
+
+#: Bootstrap-discovery control frames dispatched via ``on_control``
+#: (they arrive from senders that are not yet registered peers).
+_CONTROL_FRAMES = (AddrQuery, AddrReply, AddrAnnounce)
 
 
 class UdpReceiveChannel:
@@ -296,6 +303,17 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         #: this to attribute the failure to the owning node.  Unset, the
         #: exception propagates (standalone-transport behavior).
         self.on_dispatch_error: Optional[Callable[[BaseException], None]] = None
+        #: Cluster bootstrap-discovery hook: when set, a well-formed
+        #: control frame (AddrQuery/AddrReply/AddrAnnounce) is handed
+        #: here *before* the unknown-sender drop — a joining node is by
+        #: definition not yet a registered peer.  Receives
+        #: ``(packet, addr)``; exceptions are swallowed into the
+        #: dispatch-error accounting.
+        self.on_control: Optional[Callable[[Any, Address], None]] = None
+        #: The port the socket was last bound to (survives ``close`` so a
+        #: supervised restart can try to reclaim the same port, keeping
+        #: peers' registrations valid without a re-announce).
+        self.last_local_port: Optional[int] = None
         self._counters = None
         if metrics is not None:
             self._counters = {
@@ -361,6 +379,9 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         # I/O fast paths (read-only use: asyncio still owns lifecycle).
         sock = transport.get_extra_info("socket")
         self._socket = getattr(sock, "_sock", sock)
+        sockname = transport.get_extra_info("sockname")
+        if sockname:
+            self.last_local_port = sockname[1]
 
     @property
     def local_address(self) -> Address:
@@ -543,6 +564,25 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
         for data in datagrams:
             self.sendto(peer_id, data, channel=channel)
 
+    def sendto_address(self, data: bytes, address: Address) -> None:
+        """Send raw encoded bytes to an explicit address (no peer
+        registration required) — the discovery path, where a joining
+        node only knows a seed node's address, not a registered link.
+        Best-effort: a failed send is counted, never retried (discovery
+        frames are re-issued by their own timers)."""
+        if self._transport is None:
+            return
+        try:
+            self._transport.sendto(data, address)
+        except OSError:
+            self.send_errors += 1
+            if self._counters is not None:
+                self._counters["send_errors"].add()
+            return
+        if self._counters is not None:
+            self._counters["tx"].add()
+            self._counters["tx_bytes"].add(len(data))
+
     def note_encode_error(self) -> None:
         """Record a dropped-at-encode packet (see UdpSendChannel.send)."""
         self.encode_errors += 1
@@ -567,6 +607,22 @@ class AsyncioUdpTransport(asyncio.DatagramProtocol):
             self.misdirected += 1
             self._note_drop("drop_misdirected")
             return
+        if isinstance(datagram.packet, _CONTROL_FRAMES):
+            # Discovery control frames bypass peer dispatch: they may
+            # legitimately come from nodes that are not registered peers
+            # yet (a joiner querying a seed node).  Without a handler
+            # they fall through to the normal unknown-sender drop.
+            if self.on_control is not None:
+                try:
+                    self.on_control(datagram.packet, addr)
+                except Exception as exc:
+                    self.dispatch_errors += 1
+                    if self._counters is not None:
+                        self._counters["dispatch_errors"].add()
+                    if self.on_dispatch_error is None:
+                        raise
+                    self.on_dispatch_error(exc)
+                return
         channel = self._inbound.get(datagram.sender)
         if channel is None:
             self.unknown_sender += 1

@@ -61,8 +61,7 @@ Malformed input *never* escapes as ``struct.error`` / ``IndexError`` /
 :class:`repro.errors.WireDecodeError` for anything truncated, corrupted,
 over-length, or of an unknown version/flag/tag, so a live node can drop
 bad datagrams and keep serving.  Encoding an object the format cannot
-carry (for example an administrator MTMW, which live deployments install
-out of band) raises :class:`repro.errors.WireEncodeError`.
+carry raises :class:`repro.errors.WireEncodeError`.
 
 The format is deterministic: encoding the same object twice yields the
 same bytes, and ``decode(encode(x)) == x`` field-for-field (the property
@@ -78,7 +77,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.crypto.simulated import SimulatedSignature
-from repro.errors import WireDecodeError, WireEncodeError
+from repro.errors import TopologyError, WireDecodeError, WireEncodeError
 from repro.link.por import PorAck, PorData, PorHandshake, _HelloWrapper
 from repro.messaging.message import (
     E2eAck,
@@ -89,6 +88,8 @@ from repro.messaging.message import (
     StateRequest,
 )
 from repro.routing.link_state import LinkStateUpdate
+from repro.topology.graph import Topology
+from repro.topology.mtmw import Mtmw
 
 MAGIC = b"IT"
 VERSION = 2
@@ -112,6 +113,15 @@ _ENV_POR_DATA = 1
 _ENV_POR_ACK = 2
 _ENV_POR_HANDSHAKE = 3
 _ENV_HELLO = 4
+# Cluster control frames: bootstrap address discovery (seed-node
+# directory queries and restart re-announcements).  They ride outside
+# the PoR link — a joining node has no link yet — and are therefore
+# unauthenticated; anything acting on one only updates an address hint,
+# never protocol state, so forgery degrades to (at worst) a DoS that the
+# link-level MACs already absorb.
+_ENV_ADDR_QUERY = 5
+_ENV_ADDR_REPLY = 6
+_ENV_ADDR_ANNOUNCE = 7
 
 # Payload tags (objects carried inside a PorData envelope).
 _PL_MESSAGE = 1
@@ -120,6 +130,7 @@ _PL_NEIGHBOR_ACK = 3
 _PL_LINK_STATE = 4
 _PL_STATE_REQUEST = 5
 _PL_HELLO = 6
+_PL_MTMW = 7
 
 # Signature kinds.
 _SIG_NONE = 0
@@ -461,6 +472,40 @@ class _Reader:
 
 
 # ----------------------------------------------------------------------
+# Cluster bootstrap-discovery control frames
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AddrQuery:
+    """Ask a seed node for the current addresses of ``targets``."""
+
+    sender: Any
+    nonce: int
+    targets: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class AddrReply:
+    """A seed node's answer: ``(node_id, host, port)`` per known target."""
+
+    nonce: int
+    entries: Tuple[Tuple[Any, str, int], ...]
+
+
+@dataclass(frozen=True)
+class AddrAnnounce:
+    """Advertise that ``sender`` now listens at ``(host, port)``.
+
+    Sent after a supervised restart rebinds a socket and when a joining
+    node comes up; receivers treat it purely as an address hint (PoR MACs
+    still gate all protocol traffic), so forging one cannot inject state.
+    """
+
+    sender: Any
+    host: str
+    port: int
+
+
+# ----------------------------------------------------------------------
 # Overlay payloads (carried inside PorData)
 # ----------------------------------------------------------------------
 def _encode_payload(writer: _Writer, payload: Any) -> None:
@@ -520,10 +565,33 @@ def _encode_payload(writer: _Writer, payload: Any) -> None:
         writer.u8(_PL_HELLO)
         writer.node_id(payload.sender)
         writer.i64(payload.stamp)
+    elif isinstance(payload, Mtmw):
+        # Dynamic membership floods successor MTMWs over existing PoR
+        # links (the PoR MAC authenticates the neighbor; the admin
+        # signature inside authenticates the topology itself, and
+        # MtmwHolder.consider rejects stale/forged candidates).
+        writer.u8(_PL_MTMW)
+        topo = payload.topology
+        writer.i64(payload.seqno)
+        nodes = sorted(topo.nodes, key=str)
+        if len(nodes) > 0xFFFF:
+            raise WireEncodeError(f"MTMW with {len(nodes)} nodes is too large")
+        writer.u16(len(nodes))
+        for node in nodes:
+            writer.node_id(node)
+        edges = sorted(topo.edges(), key=lambda e: (str(e[0]), str(e[1])))
+        if len(edges) > 0xFFFF:
+            raise WireEncodeError(f"MTMW with {len(edges)} edges is too large")
+        writer.u16(len(edges))
+        for a, b in edges:
+            writer.node_id(a)
+            writer.node_id(b)
+            writer.f64(topo.weight(a, b))
+        writer.signature(payload.signature)
     else:
         raise WireEncodeError(
             f"payload type {type(payload).__name__} is not supported on the "
-            "live wire (administrator MTMWs are installed out of band)"
+            "live wire"
         )
 
 
@@ -638,6 +706,25 @@ def _decode_payload(reader: _Reader) -> Any:
         return StateRequest(reader.node_id())
     if tag == _PL_HELLO:
         return Hello(reader.node_id(), reader.i64())
+    if tag == _PL_MTMW:
+        seqno = reader.i64()
+        node_count = reader.u16()
+        # Each node id is at least a kind byte + 2-byte text length.
+        reader.budget(node_count, 3, "mtmw node")
+        topo = Topology()
+        try:
+            for _ in range(node_count):
+                topo.add_node(reader.node_id())
+            edge_count = reader.u16()
+            # Two node ids (>= 3 bytes each) plus an f64 weight.
+            reader.budget(edge_count, 14, "mtmw edge")
+            for _ in range(edge_count):
+                a = reader.node_id()
+                b = reader.node_id()
+                topo.add_edge(a, b, reader.f64())
+        except TopologyError as exc:
+            raise WireDecodeError(f"invalid MTMW topology: {exc}") from None
+        return Mtmw(topo, seqno, reader.signature())
     raise WireDecodeError(f"unknown payload tag {tag}")
 
 
@@ -671,6 +758,30 @@ def _encode_envelope(writer: _Writer, packet: Any) -> None:
         writer.u8(_ENV_HELLO)
         writer.node_id(packet.hello.sender)
         writer.i64(packet.hello.stamp)
+    elif isinstance(packet, AddrQuery):
+        writer.u8(_ENV_ADDR_QUERY)
+        writer.node_id(packet.sender)
+        writer.i64(packet.nonce)
+        if len(packet.targets) > 0xFFFF:
+            raise WireEncodeError("too many address-query targets")
+        writer.u16(len(packet.targets))
+        for target in packet.targets:
+            writer.node_id(target)
+    elif isinstance(packet, AddrReply):
+        writer.u8(_ENV_ADDR_REPLY)
+        writer.i64(packet.nonce)
+        if len(packet.entries) > 0xFFFF:
+            raise WireEncodeError("too many address-reply entries")
+        writer.u16(len(packet.entries))
+        for node, host, port in packet.entries:
+            writer.node_id(node)
+            writer.text(host)
+            writer.u16(port)
+    elif isinstance(packet, AddrAnnounce):
+        writer.u8(_ENV_ADDR_ANNOUNCE)
+        writer.node_id(packet.sender)
+        writer.text(packet.host)
+        writer.u16(packet.port)
     else:
         raise WireEncodeError(
             f"unsupported link envelope {type(packet).__name__}"
@@ -704,6 +815,28 @@ def _decode_envelope(reader: _Reader) -> Any:
         return PorHandshake(reader.node_id(), reader.raw(), reader.signature())
     if tag == _ENV_HELLO:
         return _HelloWrapper(Hello(reader.node_id(), reader.i64()))
+    if tag == _ENV_ADDR_QUERY:
+        sender = reader.node_id()
+        nonce = reader.i64()
+        count = reader.u16()
+        reader.budget(count, 3, "address-query target")
+        return AddrQuery(
+            sender, nonce, tuple(reader.node_id() for _ in range(count))
+        )
+    if tag == _ENV_ADDR_REPLY:
+        nonce = reader.i64()
+        count = reader.u16()
+        # A node id (>= 3 bytes), a host text length, and a u16 port.
+        reader.budget(count, 7, "address-reply entry")
+        return AddrReply(
+            nonce,
+            tuple(
+                (reader.node_id(), reader.text(), reader.u16())
+                for _ in range(count)
+            ),
+        )
+    if tag == _ENV_ADDR_ANNOUNCE:
+        return AddrAnnounce(reader.node_id(), reader.text(), reader.u16())
     raise WireDecodeError(f"unknown envelope tag {tag}")
 
 

@@ -48,6 +48,11 @@ SMOKE_CASES = [
         id="stats-live",
     ),
     pytest.param(
+        ["cluster", "--nodes", "6", "--shards", "2", "--duration", "2",
+         "--rate", "5", "--joins", "0", "--leaves", "0", "--seed", "4"],
+        id="cluster",
+    ),
+    pytest.param(
         ["perfbench", "--quick", "--seed", "0"],
         id="perfbench",
     ),

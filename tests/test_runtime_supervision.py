@@ -81,6 +81,11 @@ class FakeTransport:
         self.reopens = 0
         self.fail_reopen = False
         self.peer_updates = []
+        self.last_local_port = None
+        #: Ports that fail to bind (simulating another process holding
+        #: them); port 0 stands for a fresh ephemeral bind.
+        self.busy_ports = set()
+        self.reopen_ports = []  # every attempted bind, in order
 
     @property
     def closed(self):
@@ -89,12 +94,15 @@ class FakeTransport:
     def close(self):
         self._open = False
 
-    async def reopen(self):
-        if self.fail_reopen:
+    async def reopen(self, port=0):
+        self.reopen_ports.append(port)
+        if self.fail_reopen or port in self.busy_ports:
             raise OSError("address in use")
         self._open = True
         self.reopens += 1
-        return ("127.0.0.1", 40_000 + self.reopens)
+        bound = port if port else 40_000 + self.reopens
+        self.last_local_port = bound
+        return ("127.0.0.1", bound)
 
     def update_peer_address(self, peer_id, address):
         self.peer_updates.append((peer_id, address))
@@ -388,5 +396,101 @@ def test_summary_shape_and_counters():
             assert stats.counter("supervisor.restarts").value == 1
         finally:
             supervisor.stop()
+
+    run(check())
+
+
+# ----------------------------------------------------------------------
+# Port reclamation on restart (bounded rebind attempts)
+# ----------------------------------------------------------------------
+def test_rebind_reclaims_previous_port_first():
+    async def check():
+        deployment = FakeDeployment()
+        supervisor = NodeSupervisor(deployment, FAST)
+        supervisor.arm()
+        try:
+            transport = deployment.processes["a"].transport
+            transport.last_local_port = 45_678
+            supervisor.kill("a")
+            assert await eventually(
+                lambda: supervisor.records["a"].state == RUNNING
+            )
+            # One bind attempt, straight at the old port: peers'
+            # registrations stay valid without any re-announce.
+            assert transport.reopen_ports == [45_678]
+            assert transport.last_local_port == 45_678
+        finally:
+            supervisor.stop()
+
+    run(check())
+
+
+def test_rebind_falls_back_to_ephemeral_when_port_taken():
+    async def check():
+        deployment = FakeDeployment()
+        supervisor = NodeSupervisor(deployment, FAST)
+        supervisor.arm()
+        try:
+            transport = deployment.processes["a"].transport
+            transport.last_local_port = 45_678
+            transport.busy_ports = {45_678}  # another process won the bind race
+            supervisor.kill("a")
+            assert await eventually(
+                lambda: supervisor.records["a"].state == RUNNING
+            )
+            assert transport.reopen_ports == [45_678, 0]
+            # Peers were re-pointed at the fresh ephemeral address.
+            for other in ("b", "c"):
+                peer = deployment.processes[other].transport
+                assert ("a", ("127.0.0.1", transport.last_local_port)) \
+                    in peer.peer_updates
+        finally:
+            supervisor.stop()
+
+    run(check())
+
+
+def test_rebind_attempts_are_bounded():
+    async def check():
+        deployment = FakeDeployment()
+        config = SupervisionConfig(
+            backoff_initial=0.05, watchdog_interval=0.01, rebind_attempts=3
+        )
+        supervisor = NodeSupervisor(deployment, config)
+        transport = deployment.processes["a"].transport
+        transport.last_local_port = 45_678
+        transport.fail_reopen = True  # every bind fails
+        with pytest.raises(OSError):
+            await supervisor._rebind(transport)
+        # Old port first, then exactly (attempts - 1) ephemeral retries.
+        assert transport.reopen_ports == [45_678, 0, 0]
+
+    run(check())
+
+
+def test_rebind_against_real_prebound_socket():
+    """Satellite regression: a real UDP socket squats the node's old
+    port, so the reclaim attempt genuinely fails at the OS level and the
+    bounded fallback must deliver a working ephemeral bind."""
+    import socket
+
+    from repro.runtime.transport import AsyncioUdpTransport
+
+    async def check():
+        transport = await AsyncioUdpTransport.open("n1")
+        old_port = transport.local_address[1]
+        transport.close()
+        await asyncio.sleep(0.05)  # asyncio closes the fd on a later tick
+        squatter = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        squatter.bind(("127.0.0.1", old_port))
+        try:
+            deployment = FakeDeployment()
+            supervisor = NodeSupervisor(deployment, FAST)
+            address = await supervisor._rebind(transport)
+            assert address[1] != old_port  # fell back to an ephemeral port
+            assert not transport.closed
+        finally:
+            squatter.close()
+            transport.close()
 
     run(check())

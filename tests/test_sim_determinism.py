@@ -34,6 +34,8 @@ WALL_CLOCK_ALLOWED = {
     "runtime/scheduler.py",     # the live runtime IS wall-clock
     "runtime/live.py",
     "runtime/transport.py",
+    "cluster/deployment.py",    # multi-process coordinator: the shared
+                                # CLOCK_MONOTONIC epoch it distributes
 }
 
 WALL_CLOCK_PATTERN = re.compile(
