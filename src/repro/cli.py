@@ -34,6 +34,13 @@ Commands
     ``BENCH_perf.json`` payload and, with ``--baseline``, acts as the
     perf-regression gate (exit 1 on >25 % ops/sec regression, after
     machine-speed calibration).
+``overload``
+    Sweep the client-tier population workload (:mod:`repro.clients`)
+    over offered-load multipliers with the DoS-resistant admission
+    stage on and off, and print goodput + tail latency per stage.
+    With ``--min-goodput`` the command exits 1 unless the admission-on
+    arm sustains that fraction of its 1x goodput at the highest
+    multiplier (the CI overload gate).
 """
 
 from __future__ import annotations
@@ -500,6 +507,62 @@ def cmd_perfbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    """``repro overload``: offered-load sweep + admission goodput gate."""
+    import json
+
+    from repro.clients import run_overload
+
+    multipliers = tuple(float(m) for m in args.multipliers.split(","))
+    print(
+        f"overload: nodes={args.nodes} duration={args.duration:g}s "
+        f"base-rate={args.base_rate:g}/s multipliers={args.multipliers} "
+        f"seed={args.seed}"
+    )
+    report = run_overload(
+        seed=args.seed,
+        nodes=args.nodes,
+        duration=args.duration,
+        drain=args.drain,
+        base_rate=args.base_rate,
+        multipliers=multipliers,
+        include_off=not args.skip_off,
+        progress=lambda label: print(f"  running {label} ..."),
+    )
+    print(f"  {'arm':<4} {'mult':>5} {'offered':>9} {'delivered':>9} "
+          f"{'goodput/s':>10} {'p50 ms':>8} {'p99 ms':>9} {'rejected':>9}")
+    for stage in report["stages"]:
+        arm = "on" if stage["admission"] else "off"
+        rejected = stage["outcomes"].get("rejected", 0)
+        print(f"  {arm:<4} {stage['multiplier']:>5g} {stage['offered']:>9,} "
+              f"{stage['delivered']:>9,} {stage['goodput_msgs_per_s']:>10,.1f} "
+              f"{stage['p50_ms']:>8.1f} {stage['p99_ms']:>9.1f} "
+              f"{rejected:>9,}")
+    summary = report["summary"]
+    print(f"  offered total: {summary['offered_total']:,} messages")
+    print(f"  admission-on goodput at max load: "
+          f"{summary['goodput_ratio_on']:.1%} of 1x "
+          f"(p99 {summary['p99_ms_on_at_max']:.1f} ms)")
+    if "goodput_ratio_off" in summary:
+        print(f"  admission-off goodput at max load: "
+              f"{summary['goodput_ratio_off']:.1%} of 1x "
+              f"(p99 {summary['p99_ms_off_at_max']:.1f} ms)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote overload report to {args.output}")
+    if args.min_goodput is not None:
+        if summary["goodput_ratio_on"] < args.min_goodput:
+            print(f"overload gate: FAILED — admission-on sustained only "
+                  f"{summary['goodput_ratio_on']:.1%} of 1x goodput "
+                  f"(need {args.min_goodput:.1%})")
+            return 1
+        print(f"overload gate: ok ({summary['goodput_ratio_on']:.1%} "
+              f">= {args.min_goodput:.1%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -673,6 +736,34 @@ def build_parser() -> argparse.ArgumentParser:
                            help="record a pre-PR measurement's ops/sec and "
                                 "speedups inside the report")
     perfbench.set_defaults(func=cmd_perfbench)
+
+    overload = sub.add_parser(
+        "overload",
+        help="client-tier offered-load sweep with admission on/off + gate",
+    )
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument("--nodes", type=int, default=8)
+    overload.add_argument("--duration", type=float, default=20.0,
+                          help="offered-load window per stage, simulated "
+                               "seconds (default 20)")
+    overload.add_argument("--drain", type=float, default=5.0,
+                          help="extra drain time after the tier stops "
+                               "(default 5)")
+    overload.add_argument("--base-rate", type=float, default=15.0,
+                          help="1x burst-arrival rate for the whole tier, "
+                               "bursts/second (default 15)")
+    overload.add_argument("--multipliers", default="1,2,4,7,10",
+                          help="comma-separated offered-load multipliers "
+                               "(default 1,2,4,7,10)")
+    overload.add_argument("--skip-off", action="store_true",
+                          help="run only the admission-on arm")
+    overload.add_argument("--output", default=None,
+                          help="write the BENCH_overload.json payload here")
+    overload.add_argument("--min-goodput", type=float, default=None,
+                          help="gate: require admission-on goodput at the "
+                               "highest multiplier to be at least this "
+                               "fraction of its 1x goodput; exit 1 otherwise")
+    overload.set_defaults(func=cmd_overload)
     return parser
 
 

@@ -1,0 +1,30 @@
+"""The edge/client tier: realistic open-loop load for the overlay.
+
+This package turns the fixed CBR evaluation flows into a client
+population: heavy-tailed, bursty, diurnal workloads
+(:mod:`repro.clients.generators`) offered through the DoS-resistant
+admission stage (:mod:`repro.messaging.admission`), plus the overload
+sweep that measures goodput and tail latency versus offered load with
+admission on and off (:mod:`repro.clients.overload`).
+
+Generators are substrate-portable: they use only the ``.sim`` /
+``.node()`` duck type, so the same seeded workload drives the
+discrete-event simulator and the live asyncio/UDP runtime.
+"""
+
+from repro.clients.generators import (
+    ClientTier,
+    ClientWorkloadConfig,
+    ScriptedBurst,
+    ScriptedOverload,
+)
+from repro.clients.overload import OverloadStage, run_overload
+
+__all__ = [
+    "ClientTier",
+    "ClientWorkloadConfig",
+    "ScriptedBurst",
+    "ScriptedOverload",
+    "OverloadStage",
+    "run_overload",
+]

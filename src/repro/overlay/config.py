@@ -9,6 +9,7 @@ from typing import Optional
 from repro.crypto.pki import PkiMode
 from repro.errors import ConfigurationError
 from repro.link.por import PorConfig
+from repro.messaging.admission import AdmissionConfig
 from repro.sim.cpu import CpuCosts
 
 
@@ -186,6 +187,11 @@ class OverlayConfig:
     #: When the CPU's queued work exceeds this many seconds, incoming
     #: best-effort (priority) data is dropped instead of queued.
     cpu_drop_backlog: float = 0.05
+
+    # Client-tier admission control (the DoS-resistant stage in front of
+    # Priority Messaging).  ``None`` disables it: ``offer_priority``
+    # degenerates to ``send_priority`` and no controller state exists.
+    admission: Optional[AdmissionConfig] = None
 
     # Priority Messaging.
     priority_queue_capacity: int = 200

@@ -23,6 +23,7 @@ from repro.byzantine.behaviors import Behavior, HonestBehavior
 from repro.crypto.pki import Pki
 from repro.errors import ConfigurationError, ProtocolError
 from repro.link.por import PorEndpoint
+from repro.messaging.admission import AdmissionController, AdmissionOutcome
 from repro.messaging.message import (
     E2eAck,
     Hello,
@@ -282,6 +283,21 @@ class OverlayNode:
         self._e2e_timer = PeriodicTimer(sim, config.e2e_ack_timeout, self._e2e_tick)
         self._hello_timer = PeriodicTimer(sim, config.hello_interval, self._hello_tick)
         self.invalid_messages_rejected = 0
+        # Client-tier admission stage (None unless configured): meters
+        # per-client-source offers before they reach send_priority.
+        self.admission: Optional[AdmissionController] = None
+        self._admission_timer: Optional[PeriodicTimer] = None
+        if config.admission is not None:
+            self.admission = AdmissionController(
+                config.admission,
+                sim,
+                load_fn=self._admission_load,
+                stats=stats,
+                name=f"admission:{node_id}",
+            )
+            self._admission_timer = PeriodicTimer(
+                sim, config.admission.tick_interval, self.admission.tick
+            )
 
     @property
     def mtmw(self) -> Mtmw:
@@ -377,6 +393,10 @@ class OverlayNode:
         if self.config.e2e_acks_enabled:
             self._e2e_timer.start(phase=phase * self.config.e2e_ack_timeout)
         self._hello_timer.start(phase=phase * self.config.hello_interval)
+        if self._admission_timer is not None:
+            self._admission_timer.start(
+                phase=phase * self.config.admission.tick_interval
+            )
 
     # ------------------------------------------------------------------
     # Application send API
@@ -426,6 +446,68 @@ class OverlayNode:
         self.priority.messages_originated += 1
         self.cpu.sign(self.priority.handle, message, None)
         return message
+
+    def offer_priority(
+        self,
+        dest: NodeId,
+        size_bytes: int = 1000,
+        priority: Optional[int] = None,
+        method: Optional[DisseminationMethod] = None,
+        payload: Any = None,
+        expire_after: Optional[float] = None,
+        client: Any = None,
+    ) -> AdmissionOutcome:
+        """Client-tier injection: run one offer through the admission
+        stage before :meth:`send_priority`.
+
+        ``client`` identifies the offering client source for per-source
+        metering (defaults to this node's id — one edge site, one
+        source).  Without a configured admission stage every offer is
+        admitted unconditionally, which keeps the client tier runnable
+        against an unprotected overlay for A/B comparison.
+        """
+        if self.crashed:
+            raise ProtocolError(f"node {self.node_id!r} is crashed")
+        if self.admission is None:
+            self.send_priority(
+                dest,
+                size_bytes=size_bytes,
+                priority=priority,
+                method=method,
+                payload=payload,
+                expire_after=expire_after,
+            )
+            return AdmissionOutcome.ADMITTED
+        source = client if client is not None else self.node_id
+        effective = (
+            priority if priority is not None else self.config.default_priority
+        )
+        return self.admission.offer(
+            source,
+            effective,
+            lambda: self.send_priority(
+                dest,
+                size_bytes=size_bytes,
+                priority=priority,
+                method=method,
+                payload=payload,
+                expire_after=expire_after,
+            ),
+            size_bytes=size_bytes,
+        )
+
+    def _admission_load(self) -> float:
+        """The admission load signal: worst outgoing priority-queue
+        occupancy as a fraction of its capacity.  The bottleneck link is
+        what overload control must protect, so the max (not the mean)
+        drives the watermarks."""
+        capacity = self.config.priority_queue_capacity
+        worst = 0
+        for link in self.links.values():
+            backlog = len(link.priority_queue)
+            if backlog > worst:
+                worst = backlog
+        return worst / capacity
 
     def send_reliable(
         self,
@@ -784,6 +866,8 @@ class OverlayNode:
         self.crashed = True
         self.metadata = MetadataStore(self.config.max_message_lifetime)
         self.reliable.reset()
+        if self.admission is not None:
+            self.admission.clear()
         for link in self.links.values():
             link.control.clear()
             link.priority_queue = PriorityLinkQueue(self.config.priority_queue_capacity)

@@ -29,6 +29,7 @@ import signal
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.clients.generators import ClientTier, ClientWorkloadConfig
 from repro.crypto.pki import Pki
 from repro.errors import ConfigurationError, LiveRuntimeError
 from repro.faults.invariants import InvariantMonitor
@@ -85,6 +86,15 @@ class LiveConfig:
     #: stops on its own (the sim-vs-live conformance test uses this to
     #: offer the identical message set to both substrates).
     messages_per_flow: Optional[int] = None
+    #: False disables the built-in CBR flow plan entirely (a scripted or
+    #: client-tier driver offers the load instead).
+    flow_traffic: bool = True
+    #: When set, a :class:`~repro.clients.generators.ClientTier`
+    #: population workload (diurnal Poisson arrivals, Zipf fan-in,
+    #: heavy-tailed bursts) runs on top of — or instead of — the flow
+    #: plan, offered through each node's admission stage when
+    #: ``overlay.admission`` is configured.
+    clients: Optional[ClientWorkloadConfig] = None
     #: An explicit fault schedule to inject (wins over ``chaos_preset``).
     chaos: Optional[FaultSchedule] = None
     #: Or a named :class:`~repro.faults.schedule.ChaosSpec` preset
@@ -208,6 +218,10 @@ class LiveReport:
     invariants: Optional[Dict[str, Any]] = None
     #: Adaptive-defense summary; None when no defense controller ran.
     adaptive: Optional[Dict[str, Any]] = None
+    #: Client-tier offer accounting + aggregated per-node admission
+    #: counters; None when neither a client tier nor an admission stage
+    #: was configured.
+    admission: Optional[Dict[str, Any]] = None
     #: Set when a node-attributed runtime failure occurred (a raising
     #: receive handler, an unhandled loop exception): the run's results
     #: are suspect even if delivery looks fine.
@@ -308,6 +322,7 @@ class LiveReport:
             "supervision": self.supervision,
             "invariants": self.invariants,
             "adaptive": self.adaptive,
+            "admission": self.admission,
             "failed": self.failed,
             "ok": self.ok,
         }
@@ -368,6 +383,7 @@ class LiveDeployment:
         self.processes: Dict[NodeId, NodeProcess] = {}
         self.traffic: List[CbrTraffic] = []
         self._flow_specs: List[Tuple[NodeId, NodeId, Semantics]] = []
+        self.client_tier: Optional[ClientTier] = None
         self._interrupted = False
         self._started_at: Optional[float] = None
         self._stopped = False
@@ -605,23 +621,35 @@ class LiveDeployment:
         return spec.generate(self.topology, seed=config.seed)
 
     def _start_traffic(self) -> None:
-        """One CBR flow per node; alternating priority/reliable semantics."""
+        """One CBR flow per node; alternating priority/reliable semantics.
+        A client-tier population workload rides on top when configured."""
         config = self.config
-        rate_bps = config.rate_msgs_per_sec * config.size_bytes * 8.0
-        for source, dest, semantics in flow_plan(sorted(self.topology.nodes)):
-            generator = CbrTraffic(
-                self,  # duck-typed: CbrTraffic uses only .sim and .node()
-                source,
-                dest,
-                rate_bps=rate_bps,
-                size_bytes=config.size_bytes,
-                semantics=semantics,
-                method=config.method,
-                max_messages=config.messages_per_flow,
+        if config.flow_traffic:
+            rate_bps = config.rate_msgs_per_sec * config.size_bytes * 8.0
+            for source, dest, semantics in flow_plan(sorted(self.topology.nodes)):
+                generator = CbrTraffic(
+                    self,  # duck-typed: CbrTraffic uses only .sim and .node()
+                    source,
+                    dest,
+                    rate_bps=rate_bps,
+                    size_bytes=config.size_bytes,
+                    semantics=semantics,
+                    method=config.method,
+                    max_messages=config.messages_per_flow,
+                )
+                self.traffic.append(generator)
+                self._flow_specs.append((source, dest, semantics))
+                generator.start()
+        if config.clients is not None:
+            nodes = sorted(self.topology.nodes)
+            ranked = list(nodes)
+            # Seed-stable hot-destination ranking, same stream name the
+            # sim-side overload sweep uses.
+            self.sim.rngs.stream("overload:dest-rank").shuffle(ranked)
+            self.client_tier = ClientTier(
+                self, nodes, ranked, config=config.clients, method=config.method
             )
-            self.traffic.append(generator)
-            self._flow_specs.append((source, dest, semantics))
-            generator.start()
+            self.client_tier.start()
 
     # ------------------------------------------------------------------
     # Run
@@ -642,6 +670,8 @@ class LiveDeployment:
             self._interrupted = await self._wait(stop_event, config.inject_seconds)
             for generator in self.traffic:
                 generator.stop()
+            if self.client_tier is not None:
+                self.client_tier.stop()
             if not self._interrupted:
                 drain = config.duration - config.inject_seconds
                 self._interrupted = await self._wait(stop_event, drain)
@@ -672,6 +702,8 @@ class LiveDeployment:
         self._stopped = True
         for generator in self.traffic:
             generator.stop()
+        if self.client_tier is not None:
+            self.client_tier.stop()
         if self.defense is not None:
             self.defense.stop()
         if self.supervisor is not None:
@@ -782,6 +814,24 @@ class LiveDeployment:
             chaos_summary = self.chaos_engine.summary()
             chaos_summary["injector"] = self.injector.summary()
             chaos_summary["schedule_counts"] = self.chaos_schedule.counts()
+        admission_summary: Optional[Dict[str, Any]] = None
+        per_node_admission = {
+            str(node_id): process.overlay.admission.snapshot()
+            for node_id, process in sorted(
+                self.processes.items(), key=lambda item: str(item[0])
+            )
+            if process.overlay.admission is not None
+        }
+        if per_node_admission or self.client_tier is not None:
+            admission_summary = {"per_node": per_node_admission}
+            totals: Dict[str, int] = {}
+            for snapshot in per_node_admission.values():
+                for key, value in snapshot.items():
+                    if isinstance(value, int):
+                        totals[key] = totals.get(key, 0) + value
+            admission_summary["totals"] = totals
+            if self.client_tier is not None:
+                admission_summary["clients"] = self.client_tier.snapshot()
         return LiveReport(
             nodes=self.config.nodes,
             duration=self.config.duration,
@@ -810,6 +860,7 @@ class LiveDeployment:
             adaptive=(
                 self.defense.summary() if self.defense is not None else None
             ),
+            admission=admission_summary,
             failed=self._failed,
         )
 

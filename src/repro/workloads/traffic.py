@@ -150,7 +150,11 @@ class PoissonTraffic:
         self.method = method or DisseminationMethod.flooding()
         self.running = False
         self.messages_sent = 0
-        self._rng = network.sim.rngs.stream(f"poisson:{source}->{dest}")
+        # A per-instance namespaced stream: the first generator on a flow
+        # keeps the historical ``poisson:src->dst`` stream (seeded runs
+        # stay byte-identical), while further instances on the same flow
+        # draw from independent ``#n`` substreams instead of interleaving.
+        self._rng = network.sim.rngs.instance_stream(f"poisson:{source}->{dest}")
 
     def start(self) -> None:
         """Begin generating Poisson arrivals."""

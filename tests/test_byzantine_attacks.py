@@ -154,3 +154,62 @@ class TestCrashSchedule:
         assert net.node(2).crashed
         net.run(2.0)
         assert not net.node(2).crashed
+
+
+class TestPriorityTampering:
+    """A Byzantine relay escalating the priority field of messages it
+    forwards.  ``Message`` is frozen, so the attacker must rebuild the
+    dataclass — but priority is a signed field, so every tampered copy
+    fails verification at the next honest hop and is counted, not
+    delivered."""
+
+    class _EscalatingRelay:
+        """Rewrites every forwarded data message to priority 10."""
+
+        def __init__(self):
+            self.tampered = 0
+
+        def filter_incoming(self, payload, neighbor, node):
+            return payload
+
+        def filter_outgoing(self, payload, neighbor, node):
+            import dataclasses
+
+            from repro.messaging.message import Message
+
+            if isinstance(payload, Message) and payload.source != node.node_id:
+                self.tampered += 1
+                # The old signature rides along — and no longer matches.
+                return dataclasses.replace(payload, priority=10)
+            return payload
+
+    def test_tampered_priority_is_rejected_not_delivered(self):
+        net = OverlayNetwork.build(ring(4), PACED, seed=2)
+        # Compromise both relays on the 1 -> 3 ring so no honest copy
+        # survives; every copy reaching 3 has a broken signature.
+        relays = {}
+        for attacker in (2, 4):
+            behavior = self._EscalatingRelay()
+            relays[attacker] = behavior
+            net.compromise(attacker, behavior)
+        for _ in range(5):
+            net.client(1).send_priority(3, priority=2)
+        net.run(5.0)
+        assert sum(b.tampered for b in relays.values()) > 0
+        assert net.delivered_count(1, 3) == 0
+        assert net.node(3).invalid_messages_rejected > 0
+
+    def test_honest_relay_preserves_delivery_under_partial_tampering(self):
+        net = OverlayNetwork.build(ring(4), PACED, seed=2)
+        # Only one of the two disjoint ring paths is compromised: the
+        # honest copy still arrives, the tampered one is discarded.
+        behavior = self._EscalatingRelay()
+        net.compromise(2, behavior)
+        for _ in range(5):
+            net.client(1).send_priority(3, priority=2)
+        net.run(5.0)
+        assert behavior.tampered > 0
+        assert net.delivered_count(1, 3) == 5
+        # Delivered copies kept their original (signed) priority.
+        recorder = net.stats.series("priority-count:1->3:2")
+        assert len(recorder.samples) == 5

@@ -56,6 +56,11 @@ SMOKE_CASES = [
         ["perfbench", "--quick", "--seed", "0"],
         id="perfbench",
     ),
+    pytest.param(
+        ["overload", "--nodes", "6", "--duration", "2", "--drain", "1",
+         "--base-rate", "10", "--multipliers", "1,4", "--seed", "0"],
+        id="overload",
+    ),
 ]
 
 

@@ -191,3 +191,129 @@ def test_time_until_idle_parity_between_substrates():
     no_model_sim.send(packet, 10**6)
     no_model_live.send(packet, 10**6)
     assert no_model_sim.time_until_idle() == no_model_live.time_until_idle() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Client-tier admission conformance
+# ----------------------------------------------------------------------
+#: A pure count-based admission config: ``park_capacity=0`` removes the
+#: park buffer (no tick-timing-dependent releases), ``floor_min ==
+#: floor_max`` pins the allowance at exactly 4 msgs/s regardless of
+#: surge or active-source churn, and a huge idle timeout keeps meters
+#: from being re-minted with fresh buckets mid-plan.  Under this config
+#: every admission decision is a deterministic function of the offer
+#: counts and inter-burst gaps alone — the wall clock only trickles in
+#: sub-token refill amounts — so sim and live must agree exactly.
+def _admission_config():
+    from repro.messaging.admission import AdmissionConfig
+
+    return AdmissionConfig(
+        burst_tokens=4.0,
+        floor_min=4.0,
+        floor_max=4.0,
+        surge_max=1.0,
+        park_capacity=0,
+        source_idle_timeout=100.0,
+    )
+
+
+def _overload_plan():
+    """Three clients, two bursts each; gaps of >= 1.5 s per client fully
+    refill the 4-token bucket (4 msgs/s * 1.5 s > 4) on any substrate."""
+    from repro.clients.generators import ScriptedBurst
+
+    return [
+        ScriptedBurst(at=0.2, source=1, client="1/a", dest=3, count=6, priority=5),
+        ScriptedBurst(at=0.3, source=2, client="2/a", dest=4, count=3, priority=7),
+        ScriptedBurst(at=0.4, source=4, client="4/a", dest=2, count=8, priority=4),
+        ScriptedBurst(at=1.8, source=1, client="1/a", dest=3, count=5, priority=5),
+        ScriptedBurst(at=1.9, source=2, client="2/a", dest=4, count=7, priority=7),
+        ScriptedBurst(at=2.0, source=4, client="4/a", dest=2, count=2, priority=4),
+    ]
+
+
+class ScriptedDeliveryLog:
+    """Per-flow delivery order of scripted offers, by payload tag."""
+
+    def __init__(self) -> None:
+        self.order: Dict[FlowKey, List[Tuple[int, int]]] = defaultdict(list)
+
+    def record(self, message: Message, node) -> None:
+        payload = message.payload
+        if isinstance(payload, str) and payload.startswith("scripted:"):
+            _, burst, offer = payload.split(":")
+            self.order[(message.source, message.dest)].append(
+                (int(burst), int(offer))
+            )
+
+
+def _run_scripted_sim():
+    from repro.clients.generators import ScriptedOverload
+
+    log = ScriptedDeliveryLog()
+    net = OverlayNetwork.build(
+        live_topology(NODES),
+        OverlayConfig(admission=_admission_config()),
+        seed=SEED,
+    )
+    for node in net.nodes.values():
+        node.delivery_observers.append(log.record)
+    driver = ScriptedOverload(net, _overload_plan())
+    driver.arm(epoch=0.0)
+    net.sim.run(until=10.0)
+    return log, driver
+
+
+def _run_scripted_live():
+    from repro.clients.generators import ScriptedOverload
+
+    async def drive():
+        config = LiveConfig(
+            nodes=NODES,
+            duration=4.5,
+            seed=SEED,
+            flow_traffic=False,
+            overlay=OverlayConfig(admission=_admission_config()),
+        )
+        deployment = LiveDeployment(config)
+        log = ScriptedDeliveryLog()
+        await deployment.start()
+        for process in deployment.processes.values():
+            process.overlay.delivery_observers.append(log.record)
+        driver = ScriptedOverload(deployment, _overload_plan())
+        driver.arm()
+        try:
+            await deployment.serve()
+        finally:
+            await deployment.stop()
+        return log, driver
+
+    return asyncio.run(drive())
+
+
+def test_sim_and_live_agree_on_admission_decisions():
+    """The identical scripted overload plan must produce the identical
+    per-offer admission outcome log and the identical per-flow delivery
+    order on both substrates — the client tier's conformance contract."""
+    sim_log, sim_driver = _run_scripted_sim()
+    live_log, live_driver = _run_scripted_live()
+
+    # Every offer got a decision, and the decisions agree offer-by-offer.
+    planned = sum(burst.count for burst in _overload_plan())
+    assert len(sim_driver.outcomes) == planned
+    assert sim_driver.outcomes == live_driver.outcomes
+    assert sim_driver.admitted_ids() == live_driver.admitted_ids()
+
+    # The expected decisions are computable by hand: the first 4 offers
+    # of every burst fit the refilled bucket, the rest are rejected.
+    for burst_index, burst in enumerate(_overload_plan()):
+        for offer_index in range(burst.count):
+            expected = "admitted" if offer_index < 4 else "rejected"
+            assert (burst_index, offer_index, expected) in sim_driver.outcomes
+
+    # Admitted offers were all delivered, per flow, in the same order.
+    assert set(sim_log.order) == set(live_log.order)
+    for key in sorted(sim_log.order, key=str):
+        assert sim_log.order[key] == live_log.order[key]
+    delivered = sum(len(v) for v in sim_log.order.values())
+    assert delivered == len(sim_driver.admitted_ids())

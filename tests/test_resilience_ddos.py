@@ -109,3 +109,130 @@ def test_schedule_arms_start_and_stop_times():
     net.sim.run(until=3.1)
     assert not attack.active
     assert underlay.link_usable(1, 2)
+
+
+# ----------------------------------------------------------------------
+# Client-tier admission floods (application-layer DoS)
+# ----------------------------------------------------------------------
+class TestAdmissionFlood:
+    """A Byzantine client population hammering one node's admission
+    stage: the reject watermark must engage, but a conforming honest
+    client below the per-source floor must never lose an offer."""
+
+    @staticmethod
+    def _flood_net():
+        from repro.messaging.admission import AdmissionConfig
+
+        config = OverlayConfig(
+            link_bandwidth_bps=2e5,
+            priority_queue_capacity=50,
+            admission=AdmissionConfig(
+                capacity_rate=400.0,
+                floor_min=4.0,
+                floor_max=100.0,
+                burst_tokens=8.0,
+                park_capacity=32,
+                park_timeout=0.5,
+            ),
+        )
+        return OverlayNetwork.build(
+            generators.chordal_ring(6, chords=2, weight=0.001), config, seed=1
+        )
+
+    @staticmethod
+    def _periodic(sim, interval, fn, until):
+        def tick():
+            if sim.now >= until:
+                return
+            fn()
+            sim.schedule(interval, tick)
+
+        sim.schedule(0.0, tick)
+
+    def test_burst_flood_hits_reject_watermark_without_starving_honest(self):
+        from repro.messaging.admission import AdmissionState
+
+        net = self._flood_net()
+        node = net.node(1)
+        states_seen = set()
+        attacker_outcomes = {"admitted": 0, "parked": 0, "rejected": 0}
+        honest_outcomes = {"admitted": 0, "parked": 0, "rejected": 0}
+        attack_round = [0]
+
+        def flood():
+            # 40 offers per 10 ms across a rotating attacker population.
+            attack_round[0] += 1
+            for index in range(40):
+                client = f"1/attacker-{index % 20}"
+                outcome = node.offer_priority(
+                    4, size_bytes=200, priority=9, client=client
+                )
+                attacker_outcomes[outcome.value] += 1
+            states_seen.add(node.admission.state)
+
+        def honest():
+            # Conforming: one offer per 300 ms << floor_min (4/s).
+            outcome = node.offer_priority(
+                3, size_bytes=200, priority=2, client="1/honest"
+            )
+            honest_outcomes[outcome.value] += 1
+
+        self._periodic(net.sim, 0.010, flood, until=4.0)
+        self._periodic(net.sim, 0.300, honest, until=4.0)
+        net.sim.run(until=6.0)
+
+        # The flood drove the load signal through the reject watermark...
+        assert AdmissionState.REJECT in states_seen
+        assert attacker_outcomes["rejected"] > 0
+        # ...and throttled the attackers hard (most offers not admitted).
+        attacker_total = sum(attacker_outcomes.values())
+        assert attacker_outcomes["admitted"] < attacker_total * 0.5
+        # The honest conforming source lost nothing.
+        assert honest_outcomes["rejected"] == 0
+        assert honest_outcomes["parked"] == 0
+        assert honest_outcomes["admitted"] == sum(honest_outcomes.values()) > 0
+
+    def test_sybil_forged_source_ids_are_bounded_per_id(self):
+        net = self._flood_net()
+        node = net.node(1)
+        config = node.admission.config
+        per_sybil_admitted = []
+
+        def sybil_wave():
+            # Each wave mints a fresh forged identity and bursts 20
+            # offers through it — the classic meter-evasion move.
+            sybil = f"1/sybil-{len(per_sybil_admitted)}"
+            admitted = 0
+            for _ in range(20):
+                outcome = node.offer_priority(
+                    4, size_bytes=200, priority=9, client=sybil
+                )
+                if outcome.value == "admitted":
+                    admitted += 1
+            per_sybil_admitted.append(admitted)
+
+        self._periodic(net.sim, 0.050, sybil_wave, until=3.0)
+        net.sim.run(until=5.0)
+
+        assert len(per_sybil_admitted) >= 50
+        # A forged id buys at most one full initial bucket, never more:
+        # the flood is bounded per identity even though ids are free.
+        assert max(per_sybil_admitted) <= int(config.burst_tokens) + 1
+        # And enough pressure built up that later offers were refused.
+        assert node.admission.rejected > 0
+
+    def test_conservation_holds_on_every_node_after_flood(self):
+        net = self._flood_net()
+        node = net.node(1)
+
+        def flood():
+            for index in range(30):
+                node.offer_priority(
+                    4, size_bytes=200, priority=9, client=f"1/a{index % 10}"
+                )
+
+        self._periodic(net.sim, 0.010, flood, until=2.0)
+        net.sim.run(until=4.0)
+        for overlay in net.nodes.values():
+            offered, accounted = overlay.admission.balance()
+            assert offered == accounted
