@@ -41,6 +41,15 @@ Commands
     With ``--min-goodput`` the command exits 1 unless the admission-on
     arm sustains that fraction of its 1x goodput at the highest
     multiplier (the CI overload gate).
+``slo``
+    Run the "SLO under fire" sweep (:mod:`repro.clients.slo`): the
+    client session tier (budgeted retries, failover, dedup) with
+    sessions on and off, under soak chaos, across offered-load
+    multipliers.  With ``--min-success`` the command exits 1 unless
+    the sessions-on arm meets that client-visible success ratio at
+    base load, keeps retry amplification within the budget at every
+    sweep point, and reports zero invariant violations (the CI
+    client-slo gate).
 """
 
 from __future__ import annotations
@@ -563,6 +572,78 @@ def cmd_overload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_slo(args: argparse.Namespace) -> int:
+    """``repro slo``: session-tier SLO sweep + client-success gate."""
+    import json
+
+    from repro.clients import run_slo
+
+    multipliers = tuple(float(m) for m in args.multipliers.split(","))
+    print(
+        f"slo: nodes={args.nodes} duration={args.duration:g}s "
+        f"base-rate={args.base_rate:g}/s multipliers={args.multipliers} "
+        f"chaos-intensity={args.intensity:g} seed={args.seed}"
+    )
+    report = run_slo(
+        seed=args.seed,
+        nodes=args.nodes,
+        duration=args.duration,
+        drain=args.drain,
+        base_rate=args.base_rate,
+        multipliers=multipliers,
+        intensity=args.intensity,
+        include_off=not args.skip_off,
+        progress=lambda label: print(f"  running {label} ..."),
+    )
+    print(f"  {'arm':<4} {'mult':>5} {'requests':>9} {'acked':>8} "
+          f"{'success':>8} {'amp':>7} {'failover':>9} {'shed':>6} "
+          f"{'viol':>5}")
+    for stage in report["stages"]:
+        arm = "on" if stage["sessions"] else "off"
+        print(f"  {arm:<4} {stage['multiplier']:>5g} "
+              f"{stage['requests']:>9,} {stage['succeeded']:>8,} "
+              f"{stage['success_ratio']:>8.2%} {stage['amplification']:>7.3f} "
+              f"{stage['failovers']:>9,} {stage['shed']:>6,} "
+              f"{stage['violations']:>5}")
+    summary = report["summary"]
+    print(f"  requests total: {summary['requests_total']:,}")
+    print(f"  success at 1x under chaos: "
+          f"on={summary['success_on_at_1x']:.2%}"
+          + (f" off={summary['success_off_at_1x']:.2%}"
+             if "success_off_at_1x" in summary else ""))
+    print(f"  max amplification (on): {summary['max_amplification_on']:.4f} "
+          f"(bound {summary['amplification_bound']:.2f}); "
+          f"violations: {summary['violations']}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote slo report to {args.output}")
+    if args.min_success is not None:
+        failures = []
+        if summary["success_on_at_1x"] < args.min_success:
+            failures.append(
+                f"sessions-on success at 1x is "
+                f"{summary['success_on_at_1x']:.2%} "
+                f"(need {args.min_success:.2%})"
+            )
+        if summary["max_amplification_on"] > summary["amplification_bound"]:
+            failures.append(
+                f"retry amplification {summary['max_amplification_on']:.4f} "
+                f"exceeds budget bound {summary['amplification_bound']:.2f}"
+            )
+        if summary["violations"]:
+            failures.append(f"{summary['violations']} invariant violations")
+        if failures:
+            for failure in failures:
+                print(f"slo gate: FAILED — {failure}")
+            return 1
+        print(f"slo gate: ok ({summary['success_on_at_1x']:.2%} "
+              f">= {args.min_success:.2%}, amplification bounded, "
+              f"0 violations)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -764,6 +845,39 @@ def build_parser() -> argparse.ArgumentParser:
                                "highest multiplier to be at least this "
                                "fraction of its 1x goodput; exit 1 otherwise")
     overload.set_defaults(func=cmd_overload)
+
+    slo = sub.add_parser(
+        "slo",
+        help="client session-tier SLO sweep under soak chaos + gate",
+    )
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--nodes", type=int, default=16)
+    slo.add_argument("--duration", type=float, default=15.0,
+                     help="offered-load window per stage, simulated "
+                          "seconds (default 15)")
+    slo.add_argument("--drain", type=float, default=6.0,
+                     help="extra drain time after the tier stops "
+                          "(default 6)")
+    slo.add_argument("--base-rate", type=float, default=60.0,
+                     help="1x tier-wide request arrival rate, "
+                          "requests/second (default 60)")
+    slo.add_argument("--multipliers", default="1,10",
+                     help="comma-separated offered-load multipliers "
+                          "(default 1,10)")
+    slo.add_argument("--intensity", type=float, default=2.0,
+                     help="live-soak chaos intensity; 0 disables chaos "
+                          "(default 2.0)")
+    slo.add_argument("--skip-off", action="store_true",
+                     help="run only the sessions-on arm")
+    slo.add_argument("--output", default=None,
+                     help="write the BENCH_client_slo.json payload here")
+    slo.add_argument("--min-success", type=float, default=None,
+                     help="gate: require sessions-on client-visible "
+                          "success at 1x to reach this ratio, retry "
+                          "amplification within budget at every sweep "
+                          "point, and zero invariant violations; exit 1 "
+                          "otherwise")
+    slo.set_defaults(func=cmd_slo)
     return parser
 
 

@@ -7,9 +7,18 @@ admission stage (:mod:`repro.messaging.admission`), plus the overload
 sweep that measures goodput and tail latency versus offered load with
 admission on and off (:mod:`repro.clients.overload`).
 
-Generators are substrate-portable: they use only the ``.sim`` /
-``.node()`` duck type, so the same seeded workload drives the
-discrete-event simulator and the live asyncio/UDP runtime.
+On top of the raw workload sits the client session layer
+(:mod:`repro.clients.session`): a per-request reliability state machine
+with deadlines, budgeted retries (decorrelated-jitter backoff under a
+global token-bucket retry budget), idempotency keys with
+destination-side dedup, ingress failover behind per-ingress circuit
+breakers, and a graceful-degradation ladder.  The "SLO under fire"
+sweep (:mod:`repro.clients.slo`) measures client-visible success with
+sessions on and off under soak chaos and overload.
+
+Generators and sessions are substrate-portable: they use only the
+``.sim`` / ``.node()`` duck type, so the same seeded workload drives
+the discrete-event simulator and the live asyncio/UDP runtime.
 """
 
 from repro.clients.generators import (
@@ -19,6 +28,16 @@ from repro.clients.generators import (
     ScriptedOverload,
 )
 from repro.clients.overload import OverloadStage, run_overload
+from repro.clients.session import (
+    CircuitBreaker,
+    RetryBudget,
+    ScriptedSessionRequest,
+    Session,
+    SessionConfig,
+    SessionTier,
+    SessionWorkloadConfig,
+)
+from repro.clients.slo import SESSIONS_OFF, SloStage, run_slo
 
 __all__ = [
     "ClientTier",
@@ -27,4 +46,14 @@ __all__ = [
     "ScriptedOverload",
     "OverloadStage",
     "run_overload",
+    "CircuitBreaker",
+    "RetryBudget",
+    "ScriptedSessionRequest",
+    "Session",
+    "SessionConfig",
+    "SessionTier",
+    "SessionWorkloadConfig",
+    "SESSIONS_OFF",
+    "SloStage",
+    "run_slo",
 ]

@@ -215,6 +215,39 @@ class ClusterReport:
         return _flows_ratio(self.post_join_flows)
 
     @property
+    def sessions(self) -> Optional[Dict[str, Any]]:
+        """Cluster-wide session-tier rollup: integer counters summed
+        across shard slices, ratios recomputed from the sums.  None when
+        no shard ran a session tier."""
+        snapshots = [
+            report.get("sessions")
+            for report in self.shard_reports.values()
+            if isinstance(report, dict) and report.get("sessions")
+        ]
+        if not snapshots:
+            return None
+        totals: Dict[str, Any] = {}
+        for snap in snapshots:
+            for key, value in snap.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                if key in ("success_ratio", "amplification", "retry_budget",
+                           "retry_tokens"):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        requests = totals.get("requests", 0)
+        totals["success_ratio"] = (
+            round(totals.get("succeeded", 0) / requests, 6) if requests else 1.0
+        )
+        base = totals.get("base_offers", 0)
+        totals["amplification"] = (
+            round((base + totals.get("retry_offers", 0)) / base, 4)
+            if base
+            else 1.0
+        )
+        return totals
+
+    @property
     def violations(self) -> int:
         total = 0
         for report in self.shard_reports.values():
@@ -258,6 +291,7 @@ class ClusterReport:
             "membership_events": self.membership_events,
             "excluded_nodes": sorted(self.excluded),
             "failures": self.failures,
+            "sessions": self.sessions,
             "violations": self.violations,
             "failed": self.failed,
             "ok": self.ok,
@@ -386,6 +420,7 @@ class ClusterDeployment:
                     "drain": config.drain,
                     "kpaths": config.kpaths,
                     "flow_stride": config.flow_stride,
+                    "session_rate": config.session_rate,
                     "chaos": chaos_slice,
                     "supervision": supervision,
                     "monitor_invariants": config.monitor_invariants,

@@ -72,6 +72,12 @@ class ClusterConfig:
     #: Signed mid-run membership events to drive (join first, then leave).
     joins: int = 1
     leaves: int = 1
+    #: Tier-wide client-session request rate (requests/second across the
+    #: whole cluster).  When positive, every shard runs a
+    #: :class:`~repro.clients.session.SessionTier` slice homed on its
+    #: local nodes (destinations span the full overlay, so requests and
+    #: acks cross shard boundaries); 0 disables the session workload.
+    session_rate: float = 0.0
     supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
     monitor_invariants: bool = True
     #: Control-plane patience: worker boot/report deadlines and the
@@ -106,6 +112,8 @@ class ClusterConfig:
             raise ConfigurationError("chaos_intensity must be positive")
         if self.joins < 0 or self.leaves < 0:
             raise ConfigurationError("joins/leaves must be >= 0")
+        if self.session_rate < 0:
+            raise ConfigurationError("session_rate must be >= 0")
         for name in ("ready_timeout", "report_timeout", "heartbeat_interval"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")

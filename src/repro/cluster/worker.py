@@ -129,6 +129,7 @@ class ShardDeployment(LiveDeployment):
         }
         self.heartbeat_interval = float(payload.get("heartbeat_interval", 0.5))
         self._flow_stride = max(1, int(payload.get("flow_stride", 1)))
+        self._session_rate = float(payload.get("session_rate", 0.0))
         #: node -> (host, port) for every node in the cluster (from the
         #: coordinator's address map; updated by announces/joins).
         self.addresses: Dict[NodeId, Tuple[str, int]] = {}
@@ -280,6 +281,27 @@ class ShardDeployment(LiveDeployment):
                 continue
             if source in self.local_set:
                 self._launch_flow(source, dest, semantics, post_join=False)
+        if self._session_rate > 0:
+            from repro.clients.session import SessionTier, SessionWorkloadConfig
+
+            # The shard hosts the tier slice homed on its local nodes;
+            # destinations span the full overlay (ranked with the same
+            # seed-stable stream as every other shard, so all slices
+            # agree on which destinations are hot).  Requests to remote
+            # destinations are answered by that destination's own
+            # shard's tier — responders only need the local dedup state.
+            all_nodes = sorted(self.topology.nodes)
+            ranked = list(all_nodes)
+            self.sim.rngs.stream("slo:dest-rank").shuffle(ranked)
+            share = self._session_rate * len(self.local_nodes) / len(all_nodes)
+            self.session_tier = SessionTier(
+                self,
+                sorted(self.local_nodes),
+                ranked,
+                workload=SessionWorkloadConfig(arrival_rate=share),
+                name=f"shard{self.shard_id}",
+            )
+            self.session_tier.start()
 
     def _launch_flow(
         self,
@@ -352,6 +374,8 @@ class ShardDeployment(LiveDeployment):
     def _stop_injection(self) -> None:
         for generator in self.traffic:
             generator.stop()
+        if self.session_tier is not None:
+            self.session_tier.stop()
 
     async def _heartbeats(self) -> None:
         try:
@@ -688,6 +712,11 @@ class ShardDeployment(LiveDeployment):
                 self.monitor.summary() if self.monitor is not None else None
             ),
             "membership": self.ledger.summary(),
+            "sessions": (
+                self.session_tier.snapshot()
+                if self.session_tier is not None
+                else None
+            ),
             "failed": self._failed,
         }
 

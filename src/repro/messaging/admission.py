@@ -103,6 +103,12 @@ class AdmissionConfig:
     tick_interval: float = 0.05
     #: Sources silent for this long stop counting as active.
     source_idle_timeout: float = 10.0
+    #: Two-key metering: when True, offers are additionally metered by a
+    #: per-*destination* token bucket (same capacity/floor math, keyed by
+    #: the offer's ``dest``), so a Zipf-hot destination throttles at the
+    #: ingress even when every individual source is conforming.  Both
+    #: buckets must hold a token; both are decremented only on admission.
+    per_destination: bool = False
 
     def __post_init__(self) -> None:
         if self.capacity_rate <= 0:
@@ -147,13 +153,21 @@ class _SourceMeter:
 class _ParkedEntry:
     """One deferred offer waiting in the park buffer."""
 
-    __slots__ = ("source", "priority", "send", "parked_at")
+    __slots__ = ("source", "priority", "send", "parked_at", "on_final")
 
-    def __init__(self, source: Hashable, priority: int, send: Callable[[], Any], parked_at: float):
+    def __init__(
+        self,
+        source: Hashable,
+        priority: int,
+        send: Callable[[], Any],
+        parked_at: float,
+        on_final: Optional[Callable[[str], None]] = None,
+    ):
         self.source = source
         self.priority = priority
         self.send = send
         self.parked_at = parked_at
+        self.on_final = on_final
 
 
 class AdmissionController:
@@ -183,6 +197,8 @@ class AdmissionController:
         self.load = 0.0
         self._surge = config.surge_max
         self._sources: Dict[Hashable, _SourceMeter] = {}
+        #: Second meter family for two-key admission (``per_destination``).
+        self._dests: Dict[Hashable, _SourceMeter] = {}
         #: Park buffer: per-priority FIFO deques + a live total.
         self._park: Dict[int, Deque[_ParkedEntry]] = {}
         self._parked_live = 0
@@ -215,8 +231,18 @@ class AdmissionController:
         priority: int,
         send: Callable[[], Any],
         size_bytes: int = 0,
+        dest: Optional[Hashable] = None,
+        on_final: Optional[Callable[[str], None]] = None,
     ) -> AdmissionOutcome:
-        """Decide the fate of one offered message and act on it."""
+        """Decide the fate of one offered message and act on it.
+
+        ``dest`` feeds the optional two-key (per-destination) meter.
+        ``on_final`` is invoked at most once with the *terminal*
+        resolution of a PARKED offer — ``"released"``, ``"expired"``,
+        ``"evicted"`` or ``"cleared"`` — so callers (the typed-NACK
+        path) learn asynchronously what the synchronous PARKED return
+        could not tell them.  Synchronous outcomes never fire it.
+        """
         now = self._clock.now
         self.offered += 1
         if self._stats is not None:
@@ -227,12 +253,29 @@ class AdmissionController:
                 now, self.config.burst_tokens
             )
         else:
-            self._refill(meter, now)
+            self._refill(meter, now, self._sources)
         meter.offered += 1
         meter.last_offer = now
-        if meter.tokens >= 1.0:
+        dest_meter: Optional[_SourceMeter] = None
+        if self.config.per_destination and dest is not None:
+            dest_meter = self._dests.get(dest)
+            if dest_meter is None:
+                dest_meter = self._dests[dest] = _SourceMeter(
+                    now, self.config.burst_tokens
+                )
+            else:
+                self._refill(dest_meter, now, self._dests)
+            dest_meter.offered += 1
+            dest_meter.last_offer = now
+        if meter.tokens >= 1.0 and (
+            dest_meter is None or dest_meter.tokens >= 1.0
+        ):
+            # Both keys pass: decrement atomically, only on admission.
             meter.tokens -= 1.0
             meter.admitted += 1
+            if dest_meter is not None:
+                dest_meter.tokens -= 1.0
+                dest_meter.admitted += 1
             self.admitted += 1
             if self._stats is not None:
                 self._c_admitted.add()
@@ -244,7 +287,7 @@ class AdmissionController:
         if self._parked_live >= self.config.park_capacity:
             if not self._replace_by_priority(priority, now):
                 return self._reject()
-        entry = _ParkedEntry(source, priority, send, now)
+        entry = _ParkedEntry(source, priority, send, now, on_final)
         level = self._park.get(priority)
         if level is None:
             level = self._park[priority] = deque()
@@ -253,6 +296,13 @@ class AdmissionController:
         if self._stats is not None:
             self._c_parked.add()
         return AdmissionOutcome.PARKED
+
+    @staticmethod
+    def _finalize(entry: _ParkedEntry, outcome: str) -> None:
+        """Fire a parked entry's terminal-resolution callback (once)."""
+        callback, entry.on_final = entry.on_final, None
+        if callback is not None:
+            callback(outcome)
 
     def _reject(self) -> AdmissionOutcome:
         self.rejected += 1
@@ -268,13 +318,14 @@ class AdmissionController:
         if worst is None or worst >= priority:
             return False
         level = self._park[worst]
-        level.popleft()
+        entry = level.popleft()
         if not level:
             del self._park[worst]
         self._parked_live -= 1
         self.evicted += 1
         if self._stats is not None:
             self._c_evicted.add()
+        self._finalize(entry, "evicted")
         return True
 
     def _lowest_parked_priority(self) -> Optional[int]:
@@ -283,19 +334,28 @@ class AdmissionController:
     # ------------------------------------------------------------------
     # Allowance
     # ------------------------------------------------------------------
-    def allowance_rate(self) -> float:
-        """The current per-source refill rate, messages/second."""
-        active = max(1, len(self._sources))
+    def allowance_rate(self, family: Optional[Dict[Hashable, _SourceMeter]] = None) -> float:
+        """The current per-key refill rate, messages/second.  The fair
+        share divides capacity by the family's active keys (sources by
+        default; destinations for the two-key meter)."""
+        if family is None:
+            family = self._sources
+        active = max(1, len(family))
         fair = self.config.capacity_rate / active
         floor = min(max(fair, self.config.floor_min), self.config.floor_max)
         return floor * self._surge
 
-    def _refill(self, meter: _SourceMeter, now: float) -> None:
+    def _refill(
+        self,
+        meter: _SourceMeter,
+        now: float,
+        family: Optional[Dict[Hashable, _SourceMeter]] = None,
+    ) -> None:
         elapsed = now - meter.refilled_at
         if elapsed > 0:
             meter.tokens = min(
                 self.config.burst_tokens,
-                meter.tokens + elapsed * self.allowance_rate(),
+                meter.tokens + elapsed * self.allowance_rate(family),
             )
         meter.refilled_at = now
 
@@ -362,11 +422,12 @@ class AdmissionController:
             if level is None:
                 continue
             while level and level[0].parked_at <= deadline:
-                level.popleft()
+                entry = level.popleft()
                 self._parked_live -= 1
                 self.expired += 1
                 if self._stats is not None:
                     self._c_expired.add()
+                self._finalize(entry, "expired")
             if not level:
                 del self._park[priority]
 
@@ -390,6 +451,7 @@ class AdmissionController:
                 # Transiently unroutable at release time: the entry left
                 # the park either way (the network's loss, not ours).
                 pass
+            self._finalize(entry, "released")
 
     def _prune_idle(self, now: float) -> None:
         deadline = now - self.config.source_idle_timeout
@@ -400,6 +462,14 @@ class AdmissionController:
         ]
         for source in stale:
             del self._sources[source]
+        if self._dests:
+            stale_dests = [
+                dest
+                for dest, meter in self._dests.items()
+                if meter.last_offer <= deadline
+            ]
+            for dest in stale_dests:
+                del self._dests[dest]
 
     # ------------------------------------------------------------------
     # Lifecycle and introspection
@@ -409,9 +479,13 @@ class AdmissionController:
         Dropped entries are accounted as ``cleared`` so the conservation
         law survives a crash."""
         self.cleared += self._parked_live
+        for level in self._park.values():
+            for entry in level:
+                self._finalize(entry, "cleared")
         self._park.clear()
         self._parked_live = 0
         self._sources.clear()
+        self._dests.clear()
         self.state = AdmissionState.OPEN
         self.load = 0.0
         self._surge = self.config.surge_max
@@ -437,6 +511,17 @@ class AdmissionController:
         """Current bucket depth for ``source`` (None when untracked)."""
         meter = self._sources.get(source)
         return meter.tokens if meter is not None else None
+
+    def dest_tokens(self, dest: Hashable) -> Optional[float]:
+        """Current two-key bucket depth for ``dest`` (None when
+        untracked or ``per_destination`` is off)."""
+        meter = self._dests.get(dest)
+        return meter.tokens if meter is not None else None
+
+    @property
+    def active_dests(self) -> int:
+        """Destinations currently tracked by the two-key meter."""
+        return len(self._dests)
 
     def balance(self) -> Tuple[int, int]:
         """(offered, accounted) — equal iff the conservation law holds."""
@@ -465,6 +550,7 @@ class AdmissionController:
             "cleared": self.cleared,
             "parked": self._parked_live,
             "active_sources": len(self._sources),
+            "active_dests": len(self._dests),
             "state_changes": self.state_changes,
         }
 

@@ -314,6 +314,42 @@ class Hello:
 
 
 @dataclass(frozen=True, slots=True)
+class AdmissionNack:
+    """Typed admission verdict, flooded from an ingress node back to a
+    client session's home node.
+
+    ``offer_priority`` returns ADMITTED/PARKED/REJECTED synchronously on
+    every substrate, but a PARKED offer's *terminal* fate — released,
+    expired, evicted, or cleared by a crash — resolves asynchronously
+    inside the admission controller.  When the offering session's home
+    node differs from the ingress that parked the offer (failover), this
+    frame carries the resolution across the overlay so the session can
+    stop waiting on a deadline it will never meet.  Like
+    :class:`NeighborAck` it is unsigned: it only travels hop-by-hop over
+    already-authenticated PoR links, and the worst a Byzantine forger
+    achieves is a spurious client retry, which the session layer's
+    global retry budget bounds.
+
+    ``seq`` is monotonically increasing per ingress and, with
+    ``ingress``, forms the flood-dedup uid.
+    """
+
+    ingress: NodeId
+    home: NodeId
+    client: str
+    key: str
+    outcome: str  # "released" | "expired" | "evicted" | "cleared" | "rejected"
+    seq: int
+
+    WIRE_SIZE = 64
+
+    @property
+    def uid(self) -> Tuple[Any, ...]:
+        """Flood-dedup id (unique per ingress decision)."""
+        return ("nack", str(self.ingress), self.seq)
+
+
+@dataclass(frozen=True, slots=True)
 class StateRequest:
     """Sent by a node recovering from a crash (Section V-C2).
 

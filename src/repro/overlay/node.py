@@ -21,10 +21,11 @@ from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.byzantine.behaviors import Behavior, HonestBehavior
 from repro.crypto.pki import Pki
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, ProtocolError, TopologyError
 from repro.link.por import PorEndpoint
 from repro.messaging.admission import AdmissionController, AdmissionOutcome
 from repro.messaging.message import (
+    AdmissionNack,
     E2eAck,
     Hello,
     Message,
@@ -274,6 +275,15 @@ class OverlayNode:
         #: as ``observer(message, node)`` on every local delivery, before
         #: the application's ``on_deliver``.
         self.delivery_observers: list = []
+        #: Session-layer taps: called as ``observer(nack, node)`` for
+        #: every :class:`AdmissionNack` whose ``home`` is this node
+        #: (whether generated locally or received off the wire).
+        self.nack_observers: list = []
+        self._nack_seq = 0
+        #: Parked offers whose deferred release found the destination
+        #: departed (or this node crashed) — dropped at release time;
+        #: the client's attempt timeout owns recovery.
+        self.released_unroutable = 0
         self._probe_rng = sim.rngs.stream(f"probe:{node_id}")
 
         self.non_neighbor_rejected = 0
@@ -456,6 +466,8 @@ class OverlayNode:
         payload: Any = None,
         expire_after: Optional[float] = None,
         client: Any = None,
+        nack_home: Optional[NodeId] = None,
+        nack_key: str = "",
     ) -> AdmissionOutcome:
         """Client-tier injection: run one offer through the admission
         stage before :meth:`send_priority`.
@@ -465,6 +477,13 @@ class OverlayNode:
         source).  Without a configured admission stage every offer is
         admitted unconditionally, which keeps the client tier runnable
         against an unprotected overlay for A/B comparison.
+
+        ``nack_home`` opts the offer into typed NACKs: if the offer is
+        PARKED, its terminal resolution (released / expired / evicted /
+        cleared) is reported as an :class:`AdmissionNack` tagged with
+        ``nack_key`` and delivered to ``nack_home``'s ``nack_observers``
+        — locally when the home *is* this ingress, over the wire when a
+        failed-over session offered here from elsewhere.
         """
         if self.crashed:
             raise ProtocolError(f"node {self.node_id!r} is crashed")
@@ -482,19 +501,89 @@ class OverlayNode:
         effective = (
             priority if priority is not None else self.config.default_priority
         )
-        return self.admission.offer(
-            source,
-            effective,
-            lambda: self.send_priority(
-                dest,
+        on_final = None
+        if nack_home is not None:
+            client_tag = str(source)
+
+            def on_final(outcome: str) -> None:
+                self._emit_nack(nack_home, client_tag, nack_key, outcome)
+
+        in_offer = True
+
+        def release_send() -> None:
+            # Runs either synchronously (ADMITTED, still inside the
+            # offer call — let errors propagate so the caller keeps its
+            # fast unroutable path) or deferred from an admission tick
+            # (a PARKED offer being released).  By deferred-release time
+            # the world may have changed — the destination departed via
+            # a signed LEAVE, or this node crashed — and a timer
+            # callback must never let that escape into the event loop.
+            try:
+                self.send_priority(
+                    dest,
+                    size_bytes=size_bytes,
+                    priority=priority,
+                    method=method,
+                    payload=payload,
+                    expire_after=expire_after,
+                )
+            except (ProtocolError, TopologyError):
+                if in_offer:
+                    raise
+                self.released_unroutable += 1
+
+        try:
+            return self.admission.offer(
+                source,
+                effective,
+                release_send,
                 size_bytes=size_bytes,
-                priority=priority,
-                method=method,
-                payload=payload,
-                expire_after=expire_after,
-            ),
-            size_bytes=size_bytes,
+                dest=dest,
+                on_final=on_final,
+            )
+        finally:
+            in_offer = False
+
+    def _emit_nack(
+        self, home: NodeId, client: str, key: str, outcome: str
+    ) -> None:
+        """Report an admission verdict to ``home``'s session layer:
+        dispatched straight to the local observers when the home is this
+        node, flooded as a typed control frame otherwise."""
+        self._nack_seq += 1
+        nack = AdmissionNack(
+            ingress=self.node_id,
+            home=home,
+            client=client,
+            key=key,
+            outcome=outcome,
+            seq=self._nack_seq,
         )
+        if home == self.node_id:
+            for observer in self.nack_observers:
+                observer(nack, self)
+            return
+        self.metadata.check_and_record(
+            nack.uid, self.sim.now + self.config.max_message_lifetime, self.sim.now
+        )
+        for link in self.links.values():
+            link.enqueue_control(nack, AdmissionNack.WIRE_SIZE)
+            link.pump()
+
+    def _handle_admission_nack(self, nack: AdmissionNack, neighbor: NodeId) -> None:
+        """Flood-forward an admission NACK; consume it at its home."""
+        if not self.metadata.check_and_record(
+            nack.uid, self.sim.now + self.config.max_message_lifetime, self.sim.now
+        ):
+            return
+        if nack.home == self.node_id:
+            for observer in self.nack_observers:
+                observer(nack, self)
+            return
+        for other, link in self.links.items():
+            if other != neighbor:
+                link.enqueue_control(nack, AdmissionNack.WIRE_SIZE)
+                link.pump()
 
     def _admission_load(self) -> float:
         """The admission load signal: worst outgoing priority-queue
@@ -642,6 +731,8 @@ class OverlayNode:
             self._charge_verify(self.adopt_mtmw, payload, neighbor)
         elif isinstance(payload, StateRequest):
             self._handle_state_request(payload, neighbor)
+        elif isinstance(payload, AdmissionNack):
+            self._handle_admission_nack(payload, neighbor)
 
     def _charge_verify(self, handler: Callable[..., None], *args: Any) -> None:
         if self.cpu.enabled:

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.clients.generators import ClientTier, ClientWorkloadConfig
+from repro.clients.session import SessionTier, SessionWorkloadConfig
 from repro.crypto.pki import Pki
 from repro.errors import ConfigurationError, LiveRuntimeError
 from repro.faults.invariants import InvariantMonitor
@@ -95,6 +96,13 @@ class LiveConfig:
     #: plan, offered through each node's admission stage when
     #: ``overlay.admission`` is configured.
     clients: Optional[ClientWorkloadConfig] = None
+    #: When set, a :class:`~repro.clients.session.SessionTier` — the
+    #: client-side reliability state machine (deadlines, budgeted
+    #: retries, idempotency keys + destination dedup, ingress failover
+    #: behind circuit breakers) — runs its request/ack workload over
+    #: the live wire path.  The tier's client-visible outcome
+    #: accounting lands in ``report().sessions``.
+    sessions: Optional[SessionWorkloadConfig] = None
     #: An explicit fault schedule to inject (wins over ``chaos_preset``).
     chaos: Optional[FaultSchedule] = None
     #: Or a named :class:`~repro.faults.schedule.ChaosSpec` preset
@@ -222,6 +230,10 @@ class LiveReport:
     #: counters; None when neither a client tier nor an admission stage
     #: was configured.
     admission: Optional[Dict[str, Any]] = None
+    #: Session-tier client-visible outcome accounting (success ratio,
+    #: retry amplification, failovers, invariant violations); None when
+    #: no session tier was configured.
+    sessions: Optional[Dict[str, Any]] = None
     #: Set when a node-attributed runtime failure occurred (a raising
     #: receive handler, an unhandled loop exception): the run's results
     #: are suspect even if delivery looks fine.
@@ -323,6 +335,7 @@ class LiveReport:
             "invariants": self.invariants,
             "adaptive": self.adaptive,
             "admission": self.admission,
+            "sessions": self.sessions,
             "failed": self.failed,
             "ok": self.ok,
         }
@@ -384,6 +397,7 @@ class LiveDeployment:
         self.traffic: List[CbrTraffic] = []
         self._flow_specs: List[Tuple[NodeId, NodeId, Semantics]] = []
         self.client_tier: Optional[ClientTier] = None
+        self.session_tier: Optional[SessionTier] = None
         self._interrupted = False
         self._started_at: Optional[float] = None
         self._stopped = False
@@ -650,6 +664,16 @@ class LiveDeployment:
                 self, nodes, ranked, config=config.clients, method=config.method
             )
             self.client_tier.start()
+        if config.sessions is not None:
+            nodes = sorted(self.topology.nodes)
+            ranked = list(nodes)
+            # Seed-stable hot-destination ranking, same stream name the
+            # sim-side SLO sweep uses.
+            self.sim.rngs.stream("slo:dest-rank").shuffle(ranked)
+            self.session_tier = SessionTier(
+                self, nodes, ranked, workload=config.sessions
+            )
+            self.session_tier.start()
 
     # ------------------------------------------------------------------
     # Run
@@ -672,6 +696,8 @@ class LiveDeployment:
                 generator.stop()
             if self.client_tier is not None:
                 self.client_tier.stop()
+            if self.session_tier is not None:
+                self.session_tier.stop()
             if not self._interrupted:
                 drain = config.duration - config.inject_seconds
                 self._interrupted = await self._wait(stop_event, drain)
@@ -704,6 +730,9 @@ class LiveDeployment:
             generator.stop()
         if self.client_tier is not None:
             self.client_tier.stop()
+        if self.session_tier is not None:
+            self.session_tier.stop()
+            self.session_tier.finalize()
         if self.defense is not None:
             self.defense.stop()
         if self.supervisor is not None:
@@ -861,6 +890,11 @@ class LiveDeployment:
                 self.defense.summary() if self.defense is not None else None
             ),
             admission=admission_summary,
+            sessions=(
+                self.session_tier.snapshot()
+                if self.session_tier is not None
+                else None
+            ),
             failed=self._failed,
         )
 

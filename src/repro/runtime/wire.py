@@ -80,6 +80,7 @@ from repro.crypto.simulated import SimulatedSignature
 from repro.errors import TopologyError, WireDecodeError, WireEncodeError
 from repro.link.por import PorAck, PorData, PorHandshake, _HelloWrapper
 from repro.messaging.message import (
+    AdmissionNack,
     E2eAck,
     Hello,
     Message,
@@ -131,6 +132,7 @@ _PL_LINK_STATE = 4
 _PL_STATE_REQUEST = 5
 _PL_HELLO = 6
 _PL_MTMW = 7
+_PL_ADMISSION_NACK = 8
 
 # Signature kinds.
 _SIG_NONE = 0
@@ -588,6 +590,16 @@ def _encode_payload(writer: _Writer, payload: Any) -> None:
             writer.node_id(b)
             writer.f64(topo.weight(a, b))
         writer.signature(payload.signature)
+    elif isinstance(payload, AdmissionNack):
+        # Unsigned like NeighborAck: only ever carried over the
+        # already-authenticated PoR link between direct neighbors.
+        writer.u8(_PL_ADMISSION_NACK)
+        writer.node_id(payload.ingress)
+        writer.node_id(payload.home)
+        writer.text(payload.client)
+        writer.text(payload.key)
+        writer.text(payload.outcome)
+        writer.i64(payload.seq)
     else:
         raise WireEncodeError(
             f"payload type {type(payload).__name__} is not supported on the "
@@ -725,6 +737,15 @@ def _decode_payload(reader: _Reader) -> Any:
         except TopologyError as exc:
             raise WireDecodeError(f"invalid MTMW topology: {exc}") from None
         return Mtmw(topo, seqno, reader.signature())
+    if tag == _PL_ADMISSION_NACK:
+        return AdmissionNack(
+            ingress=reader.node_id(),
+            home=reader.node_id(),
+            client=reader.text(),
+            key=reader.text(),
+            outcome=reader.text(),
+            seq=reader.i64(),
+        )
     raise WireDecodeError(f"unknown payload tag {tag}")
 
 

@@ -82,6 +82,7 @@ _KIND_BY_CLASS = {
     "Mtmw": "mtmw",
     "StateRequest": "state_request",
     "Hello": "hello",
+    "AdmissionNack": "admission_nack",
 }
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, ProtocolError, TopologyError
 from repro.messaging.message import Semantics
 from repro.overlay.config import DisseminationMethod
 from repro.overlay.network import OverlayNetwork
@@ -114,9 +114,13 @@ class CbrTraffic:
                     ):
                         self.backpressured += 1
                         break
-            except ProtocolError:
-                # Transiently unroutable (e.g. link monitoring flapped
-                # every path away); retry on the next tick.
+            except (ProtocolError, TopologyError):
+                # Transiently unroutable: link monitoring flapped every
+                # path away, or the destination is missing from this
+                # node's MTMW view — under membership churn a node can
+                # adopt the successor MTMW off the overlay wire before
+                # its host processes the LEAVE and stops this flow.
+                # Retry on the next tick (the stop lands moments later).
                 self.backpressured += 1
                 break
             self.messages_sent += 1

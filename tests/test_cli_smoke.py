@@ -61,6 +61,12 @@ SMOKE_CASES = [
          "--base-rate", "10", "--multipliers", "1,4", "--seed", "0"],
         id="overload",
     ),
+    pytest.param(
+        ["slo", "--nodes", "6", "--duration", "2", "--drain", "1",
+         "--base-rate", "10", "--multipliers", "1", "--intensity", "0",
+         "--skip-off", "--seed", "0"],
+        id="slo",
+    ),
 ]
 
 

@@ -70,6 +70,58 @@ def test_cluster_leave_drains_under_soak_chaos():
     assert injected > 0
 
 
+def test_cluster_churn_regression_sessions_survive():
+    """Churn regression: >= 3 signed JOINs and >= 3 signed LEAVEs in one
+    run, with the client session tier riding on top.  Gates: every shard
+    applies the full membership timeline in lockstep (same last_seqno),
+    post-churn delivery from the joiners clears 99%, and the session
+    tier keeps its invariants (no double-processing, retry amplification
+    within budget) while requests cross shard boundaries mid-churn."""
+    joins, leaves = 3, 3
+    report = run_cluster(ClusterConfig(
+        nodes=12, shards=3, duration=9.0, drain=2.5, seed=29,
+        rate_msgs_per_sec=8.0, joins=joins, leaves=leaves,
+        session_rate=20.0,
+    ))
+    assert report.failures == []
+    assert report.ok, report.to_dict()
+    assert report.violations == 0
+    # All churn events landed: three joiners sourced traffic, three
+    # leavers drained and are excluded from the delivery gate.
+    assert len(report.joined) == joins
+    assert len(report.departed) == leaves
+    excluded = set(report.excluded)
+    assert {str(node) for node in report.departed} <= excluded
+    # Ledger lockstep: every shard applied genesis + every churn event,
+    # in the same order.
+    expected_seqno = 1 + joins + leaves
+    actions = None
+    for detail in report.shard_reports.values():
+        ledger = detail["membership"]
+        assert ledger["last_seqno"] == expected_seqno
+        shard_actions = [r["action"] for r in ledger["accepted"]]
+        assert actions is None or shard_actions == actions
+        actions = shard_actions
+    assert actions == ["join"] * joins + ["leave"] * leaves
+    # Post-churn delivery: the joiners' flows clear the 99% gate.
+    post_join = report.post_join_flows
+    assert post_join and {f["source"] for f in post_join} == set(report.joined)
+    assert report.post_join_ratio >= 0.99
+    # The session tier ran across every shard and kept its invariants
+    # through the churn (requests to departed destinations fail cleanly;
+    # they never double-process or blow the retry budget).
+    sessions = report.sessions
+    assert sessions is not None and sessions["requests"] > 0
+    assert sessions["invariant_violations"] == 0
+    assert sessions["double_processed"] == 0
+    assert sessions["amplification"] <= 1.25 + 1e-9
+    assert sessions["success_ratio"] >= 0.9
+    per_shard = [
+        detail["sessions"] for detail in report.shard_reports.values()
+    ]
+    assert all(snap is not None for snap in per_shard)
+
+
 def test_dead_worker_is_attributed_not_hung():
     """Regression: killing a worker mid-run must surface an exit-code
     attribution naming the shard's nodes — and never hang the

@@ -317,3 +317,168 @@ def test_sim_and_live_agree_on_admission_decisions():
         assert sim_log.order[key] == live_log.order[key]
     delivered = sum(len(v) for v in sim_log.order.values())
     assert delivered == len(sim_driver.admitted_ids())
+
+
+# ----------------------------------------------------------------------
+# Client session-layer conformance (incl. typed NACKs)
+# ----------------------------------------------------------------------
+#: Deterministic admission for the session plan: one burst token per
+#: client bucket, a pinned floor, and a park timeout *shorter than the
+#: tick interval* so every parked offer expires into a typed NACK at
+#: the next tick (the expiry sweep runs before the release drain) —
+#: never tick-timing-dependently released.  With ``retry_budget=0`` the
+#: session cannot retry, so every offer resolves deterministically:
+#: first-in-bucket -> admitted -> ok, second -> parked -> NACK ->
+#: failed_budget.  Exact outcome-log equality across substrates follows.
+def _session_admission_config():
+    from repro.messaging.admission import AdmissionConfig
+
+    return AdmissionConfig(
+        burst_tokens=1.0,
+        floor_min=0.5,
+        floor_max=0.5,
+        surge_max=1.0,
+        park_capacity=4,
+        park_timeout=0.01,
+        source_idle_timeout=100.0,
+    )
+
+
+def _session_conformance_config():
+    from repro.clients.session import SessionConfig
+
+    return SessionConfig(retry_budget=0.0)
+
+
+def _session_plan():
+    from repro.clients.session import ScriptedSessionRequest
+
+    return [
+        # Per home: the first request drains the single-token bucket
+        # (admitted -> ok), the immediate second parks and dies into a
+        # NACK (-> failed_budget: no retry budget).  The 2.6 s gap
+        # refills home 1's bucket (0.5 tok/s), so its third request is
+        # admitted again.
+        ScriptedSessionRequest(at=0.20, home=1, dest=3),
+        ScriptedSessionRequest(at=0.25, home=1, dest=4),
+        ScriptedSessionRequest(at=0.30, home=2, dest=4),
+        ScriptedSessionRequest(at=0.35, home=2, dest=1),
+        ScriptedSessionRequest(at=2.60, home=1, dest=2),
+        ScriptedSessionRequest(at=2.65, home=4, dest=2),
+    ]
+
+
+def _session_tier(net):
+    from repro.clients.session import SessionTier, SessionWorkloadConfig
+
+    nodes = sorted(net.nodes)
+    return SessionTier(
+        net,
+        nodes,
+        list(nodes),
+        workload=SessionWorkloadConfig(
+            arrival_rate=1.0, session=_session_conformance_config()
+        ),
+    )
+
+
+def _run_session_sim():
+    net = OverlayNetwork.build(
+        live_topology(NODES),
+        OverlayConfig(admission=_session_admission_config()),
+        seed=SEED,
+    )
+    tier = _session_tier(net)
+    tier.arm(_session_plan(), epoch=0.0)
+    net.sim.run(until=10.0)
+    tier.finalize()
+    return tier
+
+
+def _run_session_live():
+    async def drive():
+        config = LiveConfig(
+            nodes=NODES,
+            duration=4.5,
+            seed=SEED,
+            flow_traffic=False,
+            overlay=OverlayConfig(admission=_session_admission_config()),
+        )
+        deployment = LiveDeployment(config)
+        await deployment.start()
+        tier = _session_tier(deployment)
+        tier.arm(_session_plan())
+        try:
+            await deployment.serve()
+        finally:
+            await deployment.stop()
+        tier.finalize()
+        return tier
+
+    return asyncio.run(drive())
+
+
+def test_sim_and_live_agree_on_session_outcomes():
+    """The identical scripted session plan must produce the identical
+    per-request outcome log — key, outcome, attempt count — on both
+    substrates, including the requests that resolve via a typed
+    admission NACK.  This is the session-layer conformance contract:
+    no retry/NACK/dedup behavior may exist on only one substrate."""
+    sim_tier = _run_session_sim()
+    live_tier = _run_session_live()
+
+    expected_ok = 4
+    expected_nacked = 2
+    assert sim_tier.outcome_log() == live_tier.outcome_log()
+    assert len(sim_tier.outcome_log()) == len(_session_plan())
+    outcomes = [outcome for _, outcome, _ in sim_tier.outcome_log()]
+    assert outcomes.count("ok") == expected_ok
+    assert outcomes.count("failed_budget") == expected_nacked
+    # Every resolution took exactly one attempt (budget 0: no retries).
+    assert all(attempts == 1 for _, _, attempts in sim_tier.outcome_log())
+    for tier in (sim_tier, live_tier):
+        assert tier.nacks_consumed == expected_nacked
+        assert tier.retry_offers == 0
+        assert tier.double_processed == 0
+        assert tier.invariant_violations() == 0
+
+
+def test_typed_nack_crosses_the_real_udp_wire():
+    """A NACK whose ``home`` differs from the emitting ingress must be
+    carried by the live wire path (payload tag 8) across real UDP
+    sockets back to the home node's observers.  Force the home's
+    circuit breaker open so attempts fail over to a backup ingress;
+    the backup's parked-then-expired offer NACKs back to ``home``."""
+
+    async def drive():
+        config = LiveConfig(
+            nodes=NODES,
+            duration=3.0,
+            seed=SEED,
+            flow_traffic=False,
+            overlay=OverlayConfig(admission=_session_admission_config()),
+        )
+        deployment = LiveDeployment(config)
+        await deployment.start()
+        tier = _session_tier(deployment)
+        tier._install_observers()
+        session = tier.sessions[0]
+        breaker = tier.breaker(session.home)
+        for _ in range(tier.session_config.breaker_threshold):
+            breaker.record_failure(deployment.sim.now)
+        dest = sorted(deployment.nodes)[2]
+        session.submit(dest)  # drains the backup ingress's bucket
+        session.submit(dest)  # parks at the backup -> expires -> NACK
+        try:
+            await deployment.serve()
+        finally:
+            await deployment.stop()
+        tier.finalize()
+        return tier
+
+    tier = asyncio.run(drive())
+    assert tier.failovers >= 2  # both attempts bypassed the open home
+    assert tier.nacks_consumed >= 1  # the NACK crossed the wire home
+    outcomes = [outcome for _, outcome, _ in tier.outcome_log()]
+    assert outcomes.count("ok") == 1
+    assert outcomes.count("failed_budget") == 1

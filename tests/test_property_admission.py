@@ -226,3 +226,108 @@ def test_every_offer_is_accounted_exactly_once(ops):
         assert offered == accounted
         assert controller.parked_live >= 0
         assert controller.parked_live <= config.park_capacity
+
+
+# ----------------------------------------------------------------------
+# 5. Two-key (per-destination) metering
+# ----------------------------------------------------------------------
+two_key_operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("offer"),
+            st.integers(min_value=0, max_value=5),   # source
+            st.integers(min_value=0, max_value=5),   # dest
+            st.integers(min_value=1, max_value=10),  # priority
+        ),
+        st.tuples(
+            st.just("advance"),
+            st.floats(min_value=0.0, max_value=3.0,
+                      allow_nan=False, allow_infinity=False),
+            st.just(0), st.just(0),
+        ),
+        st.tuples(st.just("tick"), fractions, st.just(0), st.just(0)),
+        st.tuples(st.just("clear"), st.just(0.0), st.just(0), st.just(0)),
+    ),
+    max_size=120,
+)
+
+
+@given(ops=two_key_operations)
+@settings(max_examples=100, deadline=None)
+def test_two_key_conservation_and_nonnegative_dest_buckets(ops):
+    """Conservation holds verbatim with the second (destination) key
+    armed, and neither key's bucket ever goes negative: an offer only
+    debits both meters when *both* hold a token, so double-counting an
+    admit against one bucket is structurally impossible."""
+    config = AdmissionConfig(
+        capacity_rate=20.0, floor_min=2.0, floor_max=10.0,
+        burst_tokens=2.0, park_capacity=4, park_timeout=0.5,
+        release_batch=2, per_destination=True,
+    )
+    controller, clock, state = make(config)
+    dests_seen = set()
+    for kind, a, b, c in ops:
+        if kind == "offer":
+            dest = f"d{b}"
+            dests_seen.add(dest)
+            controller.offer(f"s{a}", c, lambda: None, dest=dest)
+        elif kind == "advance":
+            clock.now += a
+        elif kind == "tick":
+            state["load"] = a
+            controller.tick()
+        else:
+            controller.clear()
+            dests_seen.clear()
+        offered, accounted = controller.balance()
+        assert offered == accounted
+        assert controller.parked_live >= 0
+        for dest in dests_seen:
+            tokens = controller.dest_tokens(dest)
+            assert tokens is None or tokens >= 0.0
+        source_tokens = controller.source_tokens("s0")
+        assert source_tokens is None or source_tokens >= 0.0
+
+
+@given(
+    loads=st.lists(fractions, min_size=1, max_size=25),
+    gaps=st.lists(
+        st.floats(min_value=0.0, max_value=0.5,
+                  allow_nan=False, allow_infinity=False),
+        min_size=10, max_size=10,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_two_key_conforming_pair_below_floor_is_never_rejected(
+    loads, gaps, data
+):
+    """No starvation under the two-key meter: a conforming
+    (source, destination) pair offering at or below ``floor_min`` on
+    both keys is admitted on every offer, no matter how hard aggressor
+    sources hammer *other* destinations (and their own buckets)."""
+    config = AdmissionConfig(
+        capacity_rate=100.0, floor_min=4.0, floor_max=40.0,
+        burst_tokens=2.0, park_capacity=8, surge_max=2.0,
+        per_destination=True,
+    )
+    controller, clock, state = make(config)
+    conforming_period = 1.0 / config.floor_min
+
+    def hostile_churn():
+        for source, priority, count in data.draw(aggressor_ops):
+            for _ in range(count):
+                controller.offer(
+                    f"aggressor-{source}", priority, lambda: None,
+                    dest=f"hot-{source % 3}",
+                )
+        state["load"] = data.draw(st.sampled_from(loads))
+        controller.tick()
+
+    for gap in gaps:
+        hostile_churn()
+        clock.now += conforming_period + gap
+        outcome = controller.offer(
+            "conforming", 1, lambda: None, dest="quiet-dest"
+        )
+        assert outcome is AdmissionOutcome.ADMITTED

@@ -24,6 +24,7 @@ from repro.crypto.simulated import SimulatedSignature
 from repro.errors import WireDecodeError, WireEncodeError
 from repro.link.por import PorAck, PorData, PorHandshake, _HelloWrapper
 from repro.messaging.message import (
+    AdmissionNack,
     E2eAck,
     Hello,
     Message,
@@ -105,6 +106,16 @@ LINK_STATES = st.builds(
     signature=SIGNATURES,
 )
 
+ADMISSION_NACKS = st.builds(
+    AdmissionNack,
+    ingress=NODE_IDS,
+    home=NODE_IDS,
+    client=SHORT_TEXT,
+    key=SHORT_TEXT,
+    outcome=SHORT_TEXT,
+    seq=I64,
+)
+
 PAYLOADS = st.one_of(
     MESSAGES,
     E2E_ACKS,
@@ -112,6 +123,7 @@ PAYLOADS = st.one_of(
     LINK_STATES,
     st.builds(StateRequest, sender=NODE_IDS),
     st.builds(Hello, sender=NODE_IDS, stamp=I64),
+    ADMISSION_NACKS,
 )
 
 

@@ -104,6 +104,30 @@ def test_every_truncation_is_rejected(cut):
         decode_datagram(truncated)
 
 
+@given(cut=st.integers(min_value=0, max_value=300))
+@settings(max_examples=100)
+def test_every_nack_truncation_is_rejected(cut):
+    """The typed admission NACK (payload tag 8) is the newest wire
+    payload; a truncated one must die in the codec as the typed error,
+    never as a struct/index error inside the field readers."""
+    from repro.link.por import PorData
+    from repro.messaging.message import AdmissionNack
+
+    packet = PorData(
+        epoch=1, seq=2, nonce=b"n" * 8,
+        payload=AdmissionNack(
+            ingress=3, home=7, client="sessions:3/s0",
+            key="sessions:3/s0#41", outcome="expired", seq=41,
+        ),
+        wire_size=AdmissionNack.WIRE_SIZE,
+    )
+    packet.mac = b"m" * 8
+    encoded = encode_datagram("a", "b", packet)
+    truncated = encoded[: min(cut, len(encoded) - 1)]
+    with pytest.raises(WireDecodeError):
+        decode_datagram(truncated)
+
+
 def test_oversized_length_claim_rejected_without_allocation():
     import struct
 
